@@ -1,0 +1,29 @@
+"""Fig 1 — Concurrency causes incongruent end states under Weak
+Visibility.
+
+Paper: two routines (all-ON / all-OFF) over 2-15 TP-Link devices; the
+fraction of non-serialized end states grows with device count and
+shrinks as R2's start offset grows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig01_weak_visibility
+from repro.experiments.report import print_table
+
+
+def test_fig01_incongruence_vs_devices(benchmark):
+    rows = run_once(benchmark, fig01_weak_visibility,
+                    device_counts=(2, 4, 6, 8, 10, 12, 15),
+                    offsets=(0.0, 0.5, 1.0, 2.0), trials=40)
+    print_table("Fig 1: fraction of incongruent end states (WV)", rows)
+
+    by_offset = {}
+    for row in rows:
+        by_offset.setdefault(row["offset_s"], []).append(
+            row["incongruent_fraction"])
+    # Shape 1: incongruence grows with device count (offset 0).
+    zero = by_offset[0.0]
+    assert zero[-1] > zero[0]
+    assert zero[-1] >= 0.5
+    # Shape 2: larger offsets reduce incongruence.
+    assert sum(by_offset[2.0]) <= sum(by_offset[0.0])

@@ -1,0 +1,22 @@
+"""Fig 12b — Final Incongruence: 9 concurrent routines, 100 runs; is
+the end state equivalent to one of the 9! serial orders?
+
+Paper: WV ends incongruent in a substantial fraction of runs; EV, PSV
+and GSV are always serially equivalent.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig12b_final_incongruence
+from repro.experiments.report import print_table
+
+
+def test_fig12b_final_incongruence(benchmark):
+    rows = run_once(benchmark, fig12b_final_incongruence,
+                    runs=100, n_routines=9)
+    print_table("Fig 12b: final incongruence over 100 runs "
+                "(9 routines, 9! serial orders checked)", rows)
+    by_model = {row["model"]: row for row in rows}
+    assert by_model["ev"]["final_incongruence"] == 0.0
+    assert by_model["psv"]["final_incongruence"] == 0.0
+    assert by_model["gsv"]["final_incongruence"] == 0.0
+    assert by_model["wv"]["final_incongruence"] > 0.1

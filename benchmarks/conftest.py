@@ -1,0 +1,16 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs the corresponding experiment driver once (they are
+full parameter sweeps, not microkernels) and prints the same rows/series
+the paper's figure reports.  Trial counts are reduced relative to the
+paper's 1M-trial datapoints; shapes are stable at these counts (see
+EXPERIMENTS.md for the recorded outputs and paper-vs-measured notes).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

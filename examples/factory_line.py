@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Smart factory: the 50-stage assembly line scenario (§7.2).
+
+Each of 50 workers runs stage routines touching local devices (p=0.6),
+devices shared with neighbouring stages (p=0.3) and 5 global devices
+(p=0.1), closed-loop so nobody idles.  Shows EV's scheduler keeping a
+whole factory serializable while sustaining ~WV-level throughput, and
+how a failed global device ripples differently across models.
+
+Run:  python examples/factory_line.py
+"""
+
+from repro.devices.failures import FailurePlan
+from repro.experiments.report import print_table
+from repro.experiments.runner import ExperimentSetup, run_workload
+from repro.metrics.stats import mean, percentile
+from repro.workloads.scenarios import factory_scenario
+
+
+def healthy_factory() -> None:
+    rows = []
+    for model in ("wv", "ev", "psv", "gsv"):
+        workload = factory_scenario(seed=7, stages=50,
+                                    routines_per_stage=3)
+        setup = ExperimentSetup(model=model, seed=7, check_final=False)
+        result, report, _controller = run_workload(workload, setup)
+        rows.append({
+            "model": model,
+            "makespan_s": result.makespan,
+            "lat_p50_s": report.latency["p50"],
+            "parallelism": report.parallelism_mean,
+            "temp_incongruence": report.temporary_incongruence,
+        })
+    print_table("Healthy 50-stage factory (150 jobs, closed loop)", rows)
+
+
+def factory_with_dead_labeler() -> None:
+    rows = []
+    for model in ("ev", "psv", "gsv", "sgsv"):
+        workload = factory_scenario(seed=7, stages=50,
+                                    routines_per_stage=3)
+        # Global device 0 (a labeler every stage may need) dies early
+        # and comes back a minute later.
+        labeler = workload.device_count() - 5
+        workload.failure_plans.append(
+            FailurePlan(labeler, fail_at=30.0, restart_at=90.0))
+        setup = ExperimentSetup(model=model, seed=7, check_final=False)
+        result, report, _controller = run_workload(workload, setup)
+        rows.append({
+            "model": model,
+            "aborted_jobs": report.aborted,
+            "abort_rate": report.abort_rate,
+            "rollback_overhead": report.rollback_overhead_mean,
+            "makespan_s": result.makespan,
+        })
+    print_table("Same factory with global labeler down 30s-90s", rows)
+    gsv = next(r for r in rows if r["model"] == "gsv")
+    ev = next(r for r in rows if r["model"] == "ev")
+    print(f"EV aborts more jobs ({ev['aborted_jobs']} vs GSV's "
+          f"{gsv['aborted_jobs']}) because its concurrency exposes more "
+          "in-flight routines to the failure (§7.4) — but finishes the "
+          f"shift {gsv['makespan_s'] / ev['makespan_s']:.0f}x sooner and "
+          "rolls back fewer commands per abort.")
+
+
+if __name__ == "__main__":
+    healthy_factory()
+    factory_with_dead_labeler()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Home, SafeHome: Smart Home Reliability with
+Visibility and Atomicity" (Ahsan et al., EuroSys 2021).
+
+Quick start::
+
+    from repro import SafeHome
+
+    home = SafeHome(visibility="ev", scheduler="timeline")
+    home.add_device("window", "living-window")
+    home.add_device("ac", "living-ac")
+    home.register_routine_spec({
+        "routineName": "cooling",
+        "commands": [
+            {"device": "living-window", "action": "CLOSED",
+             "durationSec": 2},
+            {"device": "living-ac", "action": "ON", "durationSec": 2},
+        ],
+    })
+    home.invoke("cooling")
+    result = home.run()
+
+See ``examples/`` for realistic scenarios, ``benchmarks/`` for the
+paper's figures and tables, and DESIGN.md for the architecture map.
+"""
+
+from repro.core.command import Command
+from repro.core.controller import (ControllerConfig, RoutineRun,
+                                   RoutineStatus, RunResult)
+from repro.core.routine import Routine, sequential
+from repro.core.visibility import VisibilityModel, make_controller
+from repro.hub.safehome import SafeHome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SafeHome",
+    "Command",
+    "Routine",
+    "sequential",
+    "RoutineRun",
+    "RoutineStatus",
+    "RunResult",
+    "ControllerConfig",
+    "VisibilityModel",
+    "make_controller",
+    "__version__",
+]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [NAME ...]`` — regenerate one or all paper figures and
+  print their data tables (fig01, fig02, fig12a, fig12b, fig13, fig14,
+  fig15ab, fig15c, fig15d, fig16, fig16d, fig17).
+* ``scenario NAME --model M`` — run one trace scenario and report.
+* ``export-trace NAME PATH`` — write a scenario to a trace JSON file.
+* ``run-trace PATH --model M`` — run a trace file under a model.
+* ``ablations`` — run the design-choice ablation sweeps.
+"""
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import figures as fig_mod
+from repro.experiments.report import print_table
+from repro.experiments.runner import ExperimentSetup, run_workload
+from repro.workloads.scenarios import (factory_scenario, morning_scenario,
+                                       party_scenario)
+
+_SCENARIOS = {
+    "morning": morning_scenario,
+    "party": party_scenario,
+    "factory": factory_scenario,
+}
+
+
+def _figure_registry(trials: int) -> Dict[str, Callable[[], None]]:
+    def show(title, rows):
+        print_table(title, rows)
+
+    return {
+        "fig01": lambda: show("Fig 1", fig_mod.fig01_weak_visibility(
+            trials=trials)),
+        "fig02": lambda: show("Fig 2", fig_mod.fig02_example()),
+        "fig12a": lambda: show("Fig 12a", fig_mod.fig12a_scenarios(
+            trials=max(3, trials // 4))),
+        "fig12b": lambda: show("Fig 12b",
+                               fig_mod.fig12b_final_incongruence(
+                                   runs=max(20, trials))),
+        "fig13": lambda: [show(f"Fig 13 ({key})", rows) for key, rows
+                          in fig_mod.fig13_failures(
+                              trials=max(2, trials // 5)).items()],
+        "fig14": lambda: show("Fig 14", fig_mod.fig14_schedulers(
+            trials=max(2, trials // 5))),
+        "fig15ab": lambda: show("Fig 15a/b", fig_mod.fig15ab_leasing(
+            trials=max(2, trials // 5))),
+        "fig15c": lambda: show("Fig 15c", [
+            {k: v for k, v in row.items() if k != "cdf"}
+            for row in fig_mod.fig15c_stretch(
+                trials=max(2, trials // 5))]),
+        "fig15d": lambda: show("Fig 15d", fig_mod.fig15d_insertion_time()),
+        "fig16": lambda: show("Fig 16a-c", fig_mod.fig16_routine_size(
+            trials=max(2, trials // 5))),
+        "fig16d": lambda: show("Fig 16d", fig_mod.fig16d_popularity(
+            trials=max(2, trials // 5))),
+        "fig17": lambda: [show(f"Fig 17 ({key})", rows) for key, rows
+                          in fig_mod.fig17_long_routines(
+                              trials=max(2, trials // 5)).items()],
+    }
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    registry = _figure_registry(args.trials)
+    names = args.names or sorted(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(f"unknown figures: {unknown}; "
+              f"available: {sorted(registry)}", file=sys.stderr)
+        return 2
+    for name in names:
+        registry[name]()
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    factory = _SCENARIOS.get(args.name)
+    if factory is None:
+        print(f"unknown scenario {args.name!r}; "
+              f"available: {sorted(_SCENARIOS)}", file=sys.stderr)
+        return 2
+    workload = factory(seed=args.seed)
+    setup = ExperimentSetup(model=args.model, scheduler=args.scheduler,
+                            seed=args.seed, check_final=False)
+    _result, report, _controller = run_workload(workload, setup)
+    print_table(f"{args.name} under {args.model}", [report.row()])
+    return 0
+
+
+def cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.traces import save_workload
+
+    factory = _SCENARIOS.get(args.name)
+    if factory is None:
+        print(f"unknown scenario {args.name!r}", file=sys.stderr)
+        return 2
+    save_workload(factory(seed=args.seed), args.path)
+    print(f"wrote {args.name} trace to {args.path}")
+    return 0
+
+
+def cmd_run_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.traces import load_workload
+
+    workload = load_workload(args.path)
+    setup = ExperimentSetup(model=args.model, scheduler=args.scheduler,
+                            seed=args.seed, check_final=False)
+    _result, report, _controller = run_workload(workload, setup)
+    print_table(f"{workload.name} under {args.model}", [report.row()])
+    return 0
+
+
+def cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    print_table("Leniency factor (noisy estimates)",
+                ablations.ablate_leniency(trials=args.trials))
+    print_table("Duration-estimate error (Timeline)",
+                ablations.ablate_estimate_error(trials=args.trials))
+    print_table("Failure-detector ping period",
+                ablations.ablate_detector_period(trials=args.trials))
+    print_table("Network jitter vs WV incongruence",
+                ablations.ablate_network_jitter())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SafeHome reproduction (EuroSys 2021) experiment CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("names", nargs="*")
+    figures.add_argument("--trials", type=int, default=20)
+    figures.set_defaults(func=cmd_figures)
+
+    scenario = sub.add_parser("scenario", help="run one trace scenario")
+    scenario.add_argument("name")
+    scenario.add_argument("--model", default="ev")
+    scenario.add_argument("--scheduler", default="timeline")
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.set_defaults(func=cmd_scenario)
+
+    export = sub.add_parser("export-trace", help="write a scenario trace")
+    export.add_argument("name")
+    export.add_argument("path")
+    export.add_argument("--seed", type=int, default=0)
+    export.set_defaults(func=cmd_export_trace)
+
+    run_trace = sub.add_parser("run-trace", help="run a trace file")
+    run_trace.add_argument("path")
+    run_trace.add_argument("--model", default="ev")
+    run_trace.add_argument("--scheduler", default="timeline")
+    run_trace.add_argument("--seed", type=int, default=0)
+    run_trace.set_defaults(func=cmd_run_trace)
+
+    ablate = sub.add_parser("ablations", help="design-choice sweeps")
+    ablate.add_argument("--trials", type=int, default=4)
+    ablate.set_defaults(func=cmd_ablations)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""SafeHome's core: routines, virtual locks, lineage, visibility models.
+
+Public surface::
+
+    from repro.core import Command, Routine, make_controller, VisibilityModel
+
+``make_controller`` builds a concurrency controller implementing one of
+the paper's visibility models (WV, GSV, S-GSV, PSV, EV) on top of a
+simulator + device registry.
+"""
+
+from repro.core.command import Command
+from repro.core.controller import (ControllerConfig, RoutineRun,
+                                   RoutineStatus, RunResult)
+from repro.core.lineage import (Lineage, LineageTable, LockAccess,
+                                LockStatus)
+from repro.core.routine import LockRequest, Routine
+from repro.core.visibility import VisibilityModel, make_controller
+
+__all__ = [
+    "Command",
+    "Routine",
+    "LockRequest",
+    "RoutineRun",
+    "RoutineStatus",
+    "RunResult",
+    "ControllerConfig",
+    "Lineage",
+    "LineageTable",
+    "LockAccess",
+    "LockStatus",
+    "VisibilityModel",
+    "make_controller",
+]

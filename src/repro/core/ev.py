@@ -1,0 +1,426 @@
+"""Eventual Visibility (EV): SafeHome's headline model (§4).
+
+EV lets conflicting routines run concurrently while guaranteeing that
+the *end state* equals some serial execution of the committed routines
+(plus failure/restart events).  The machinery:
+
+* virtual locks with **early lock acquisition** — a routine's entire
+  footprint is placed in the lineage table atomically at scheduling
+  time, so it never aborts for lock contention (§4.1);
+* **pre-/post-leasing** of locks, expressed as lineage placements;
+* pluggable **schedulers** (FCFS / JiT / Timeline, §5);
+* **commit compaction** ("last writer wins", Fig 7);
+* lineage-driven **rollback** on abort (§4.3);
+* EV failure serialization (§3): a failure detected after a routine's
+  last touch of a device is serialized after the routine; a failure
+  before its first touch is tolerated if the device restarts in time;
+  anything else aborts the routine.
+"""
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.command import CommandExecution
+from repro.core.controller import RoutineRun, RoutineStatus
+from repro.core.lineage import (UNSET, Gap, LineageTable, LockAccess,
+                                LockStatus)
+from repro.core.routine import LockRequest
+from repro.core.sequential_mixin import SequentialExecutionMixin
+from repro.errors import SchedulingError
+from repro.sim.events import Event
+
+
+class Placement:
+    """One planned lock-access: where and when a routine uses a device."""
+
+    __slots__ = ("request", "index", "planned_start", "duration")
+
+    def __init__(self, request: LockRequest, index: int,
+                 planned_start: float, duration: float) -> None:
+        self.request = request
+        self.index = index
+        self.planned_start = planned_start
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return (f"Placement(dev={self.request.device_id}, idx={self.index}, "
+                f"t={self.planned_start:g}+{self.duration:g})")
+
+
+class EventualVisibilityController(SequentialExecutionMixin):
+    """Lineage-table based controller implementing EV."""
+
+    model_name = "ev"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.table = LineageTable(
+            committed_lookup=lambda d: self.registry.get(d).state)
+        self._revocations: Dict[Tuple[int, int], Event] = {}
+        # Commit compaction (Fig 7) can remove a *still-active* routine's
+        # lock-access (a later routine overwrote it and committed).  The
+        # ordering "that routine precedes everything placed on this
+        # device afterwards" must survive the removal, or a subsequent
+        # pre-lease could contradict it and break serializability.
+        # device_id -> active routine ids serialized before the device's
+        # committed state.
+        self.compacted_before: Dict[int, set] = {}
+        self.scheduler = self._make_scheduler()
+        self.scheduler_stats: Dict[str, float] = {
+            "placements": 0, "pre_leases": 0, "post_leases": 0}
+
+    def _make_scheduler(self):
+        from repro.core.schedulers import make_scheduler
+        return make_scheduler(self.config.scheduler, self)
+
+    # -- estimates -------------------------------------------------------------
+
+    def estimate_duration(self, run: RoutineRun,
+                          request: LockRequest) -> float:
+        """Estimated lock-access duration (§4.3).
+
+        Known command durations plus one τ-timeout per command (covering
+        network latency), with optional injected estimation error for
+        revocation experiments.
+        """
+        tau = self.config.tau_timeout_s
+        base = request.duration + tau * len(request.command_indexes)
+        estimate = max(base, tau)
+        error = self.config.estimate_error
+        if error:
+            rng = self.driver.streams.stream("estimates")
+            estimate *= max(0.05, 1.0 + rng.uniform(-error, error))
+        return estimate
+
+    def estimated_runtime(self, run: RoutineRun) -> float:
+        return sum(self.estimate_duration(run, request)
+                   for request in run.routine.lock_requests())
+
+    def routine_end_estimator(self) -> Callable[[LockAccess], float]:
+        """Projected end of an ACQUIRED access when post-leasing is off:
+        the owner holds every lock until its routine finishes."""
+        if self.config.post_lease:
+            return lambda access: 0.0
+
+        def estimate(access: LockAccess) -> float:
+            run = self.run_by_id(access.routine_id)
+            start = run.start_time if run.start_time is not None \
+                else self.sim.now
+            return start + self.estimated_runtime(run)
+
+        return estimate
+
+    # -- precedence closure (Invariant 4 / preSet-postSet) ------------------------
+
+    def closure_sets(self) -> Dict[int, Tuple[set, set]]:
+        """Transitive (before, after) routine sets from live lineages.
+
+        The paper's preSet/postSet are "the routines positioned before
+        and after R in the serialization order" — transitively, which is
+        what makes the emptiness test equivalent to acyclicity.
+        """
+        successors: Dict[int, set] = {}
+        predecessors: Dict[int, set] = {}
+        for lineage in self.table.lineages():
+            owners = lineage.owners()
+            for i, before in enumerate(owners):
+                for after in owners[i + 1:]:
+                    successors.setdefault(before, set()).add(after)
+                    predecessors.setdefault(after, set()).add(before)
+        # Compacted-away predecessors precede every live access on that
+        # device (those all sit right of the committed write).
+        for device_id, hidden in self.compacted_before.items():
+            owners = self.table.lineage(device_id).owners()
+            for before in hidden:
+                for after in owners:
+                    successors.setdefault(before, set()).add(after)
+                    predecessors.setdefault(after, set()).add(before)
+
+        def reach(start: int, graph: Dict[int, set]) -> set:
+            seen: set = set()
+            frontier = list(graph.get(start, ()))
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(graph.get(node, ()))
+            return seen
+
+        nodes = set(successors) | set(predecessors)
+        return {node: (reach(node, predecessors), reach(node, successors))
+                for node in nodes}
+
+    def before_after_for_gap(self, device_id: int, index: int,
+                             closures: Dict[int, Tuple[set, set]]
+                             ) -> Tuple[set, set]:
+        """preSet/postSet contribution of placing an access at ``index``."""
+        owners = self.table.lineage(device_id).owners()
+        pre: set = set()
+        post: set = set()
+        # Every placement position is after the device's committed
+        # state, hence after any active routine compacted behind it.
+        for owner in self.compacted_before.get(device_id, ()):
+            pre.add(owner)
+            pre |= closures.get(owner, (set(), set()))[0]
+        for owner in owners[:index]:
+            pre.add(owner)
+            pre |= closures.get(owner, (set(), set()))[0]
+        for owner in owners[index:]:
+            post.add(owner)
+            post |= closures.get(owner, (set(), set()))[1]
+        return pre, post
+
+    # -- placement ---------------------------------------------------------------
+
+    def place_run(self, run: RoutineRun,
+                  placements: List[Placement]) -> None:
+        """Atomically install a routine's lock-accesses (early lock
+        acquisition: all or nothing, §4.1)."""
+        final_values = run.routine.final_write_values()
+        for placement in placements:
+            request = placement.request
+            lineage = self.table.lineage(request.device_id)
+            access = LockAccess(
+                routine_id=run.routine_id,
+                device_id=request.device_id,
+                planned_start=placement.planned_start,
+                duration=placement.duration,
+                writes=request.writes,
+                reads=request.reads,
+                final_value=final_values.get(request.device_id, UNSET),
+                pre_leased=placement.index < len(lineage.entries),
+            )
+            if access.pre_leased:
+                self.scheduler_stats["pre_leases"] += 1
+            lineage.insert(placement.index, access)
+            self._replan_successors(lineage, access)
+        self.scheduler_stats["placements"] += 1
+        if self.config.paranoid:
+            self.table.verify_all()
+        self._pump(run)
+
+    @staticmethod
+    def _replan_successors(lineage, access: LockAccess) -> None:
+        """Keep Invariant 1 truthful after an insertion: successors that
+        would now overlap in planned time are pushed right (this is the
+        "stretch" an insertion imposes, Fig 9c)."""
+        index = lineage.index_of(access.routine_id)
+        cursor = access.planned_end
+        for later in lineage.entries[index + 1:]:
+            if later.status is LockStatus.SCHEDULED and \
+                    later.planned_start < cursor:
+                later.planned_start = cursor
+            cursor = max(cursor, later.planned_start + later.duration)
+
+    # -- execution ------------------------------------------------------------------
+
+    def _arrive(self, run: RoutineRun) -> None:
+        run.status = RoutineStatus.WAITING
+        self.scheduler.on_arrive(run)
+
+    def _pump(self, run: RoutineRun) -> None:
+        """Advance a routine if its next command's lock is available."""
+        if run.done or run.inflight:
+            return
+        if run.next_index >= len(run.commands):
+            self._finish_point(run)
+            return
+        command = run.commands[run.next_index]
+        lineage = self.table.lineage(command.device_id)
+        entry = lineage.entry_for(run.routine_id)
+        if entry is None:
+            return  # not placed yet
+        if entry.status is LockStatus.SCHEDULED:
+            if not lineage.can_acquire(run.routine_id,
+                                       finished=self.is_finished,
+                                       wants_read=entry.reads):
+                return  # blocked; a release will pump again
+            lineage.acquire(run.routine_id, self.sim.now)
+            if entry.pre_leased:
+                self._arm_revocation(run, entry)
+        self._begin(run)
+        run.next_index += 1
+        self._issue_command(run, command, self._after_command)
+
+    def _pump_all(self) -> None:
+        for run in self.active_runs():
+            self._pump(run)
+
+    def _run_next(self, run: RoutineRun) -> None:
+        # SequentialExecutionMixin calls this after each command; in EV
+        # advancement is lock-gated, so route through the pump.
+        self._pump(run)
+
+    def _on_write_applied(self, run: RoutineRun,
+                          execution: CommandExecution) -> None:
+        entry = self.table.lineage(
+            execution.command.device_id).entry_for(run.routine_id)
+        if entry is not None:
+            entry.applied_value = execution.command.value
+
+    def _on_device_access_done(self, run: RoutineRun,
+                               device_id: int) -> None:
+        """Last command on the device finished → post-lease (§4.1)."""
+        lineage = self.table.lineage(device_id)
+        entry = lineage.entry_for(run.routine_id)
+        if entry is None or entry.status is not LockStatus.ACQUIRED:
+            return
+        if self.config.post_lease:
+            lineage.release(run.routine_id, self.sim.now)
+            if lineage.index_of(run.routine_id) + 1 < len(lineage.entries):
+                self.scheduler_stats["post_leases"] += 1
+            self._cancel_revocation(run, device_id)
+            self._notify_release(device_id)
+        # With post-leasing off the entry stays ACQUIRED until finish.
+
+    def _notify_release(self, device_id: int) -> None:
+        self.scheduler.on_release(device_id)
+        self._pump_all()
+
+    # -- finish: commit with compaction (§4.3, Fig 7) ----------------------------------
+
+    def _finish_point(self, run: RoutineRun) -> None:
+        # Active routines transitively serialized before this commit
+        # must also precede anything placed over the committed states it
+        # writes — remember them per device, or a later pre-lease could
+        # contradict an order that only this (about-to-vanish) routine's
+        # entries were witnessing.
+        closures = self.closure_sets()
+        before_commit = {
+            rid for rid in closures.get(run.routine_id, (set(), set()))[0]
+            if not self.is_finished(rid) and rid != run.routine_id}
+        released_devices: List[int] = []
+        for device_id in run.routine.device_ids:
+            lineage = self.table.lineage(device_id)
+            entry = lineage.entry_for(run.routine_id)
+            if entry is None:
+                # A later routine already committed and compacted us away
+                # ("last writer wins") — our effect on this device is
+                # superseded; no committed-state update.
+                continue
+            if entry.status is LockStatus.ACQUIRED:
+                lineage.release(run.routine_id, self.sim.now)
+            self._cancel_revocation(run, device_id)
+            if entry.applied_value is not UNSET:
+                self.table.set_committed(device_id, entry.applied_value,
+                                         source=run.routine_id)
+                self.table.compact_commit(run.routine_id, device_id)
+                if before_commit:
+                    self.compacted_before.setdefault(
+                        device_id, set()).update(before_commit)
+            else:
+                lineage.remove(run.routine_id)
+            released_devices.append(device_id)
+        self.commit(run)
+        if self.config.paranoid:
+            self.table.verify_all()
+        for device_id in released_devices:
+            self.scheduler.on_release(device_id)
+        self._pump_all()
+
+    def _policy_after_finish(self, run: RoutineRun) -> None:
+        for hidden in self.compacted_before.values():
+            hidden.discard(run.routine_id)
+        self.scheduler.on_finish(run)
+
+    # -- abort & rollback (§4.3) ---------------------------------------------------------
+
+    def _rollback(self, run: RoutineRun) -> None:
+        released_devices: List[int] = []
+        for device_id in run.routine.device_ids:
+            lineage = self.table.lineage(device_id)
+            entry = lineage.entry_for(run.routine_id)
+            if entry is None:
+                continue
+            self._cancel_revocation(run, device_id)
+            if lineage.is_last_writer(run.routine_id):
+                target = self.resolve_undo(
+                    run, device_id,
+                    lineage.rollback_target(run.routine_id))
+                lineage.remove(run.routine_id)
+                self._restore_device(run, device_id, target)
+            else:
+                # Either we never wrote the device, or a successor's
+                # write is already the latest — just drop the access.
+                lineage.remove(run.routine_id)
+            released_devices.append(device_id)
+        if self.config.paranoid:
+            self.table.verify_all()
+        for device_id in released_devices:
+            self.scheduler.on_release(device_id)
+        self._pump_all()
+
+    def _restore_device(self, run: RoutineRun, device_id: int,
+                        target: Any) -> None:
+        if target is UNSET:
+            return
+        super()._restore_device(run, device_id, target)
+
+    # -- lease revocation (§4.1) -----------------------------------------------------------
+
+    def _arm_revocation(self, run: RoutineRun, entry: LockAccess) -> None:
+        if not self.config.post_lease:
+            # The revocation deadline is "estimated time between Rdst's
+            # first and last actions on D" (§4.1) — meaningful only when
+            # the lock returns after the last access.  With post-leasing
+            # ablated the lock is held to routine finish, which includes
+            # unbounded waits on other devices, so leases are not
+            # revocable in that mode.
+            return
+        deadline = (entry.duration * self.config.leniency_factor
+                    + self.config.revoke_slack_s)
+        event = self.sim.call_after(
+            deadline, self._revoke, run, entry.device_id,
+            label=f"revoke:{run.name}:{entry.device_id}")
+        self._revocations[(run.routine_id, entry.device_id)] = event
+
+    def _cancel_revocation(self, run: RoutineRun, device_id: int) -> None:
+        event = self._revocations.pop((run.routine_id, device_id), None)
+        self.sim.cancel(event)
+
+    def _revoke(self, run: RoutineRun, device_id: int) -> None:
+        self._revocations.pop((run.routine_id, device_id), None)
+        if run.done:
+            return
+        lineage = self.table.lineage(device_id)
+        entry = lineage.entry_for(run.routine_id)
+        if entry is None or entry.status is not LockStatus.ACQUIRED:
+            return
+        index = lineage.index_of(run.routine_id)
+        waiting_behind = index + 1 < len(lineage.entries)
+        if waiting_behind:
+            self.request_abort(
+                run, f"leased lock on device {device_id} revoked")
+
+    # -- failure serialization (§3, EV rules) ------------------------------------------------
+
+    def _policy_on_failure(self, device_id: int) -> None:
+        for run in self.active_runs():
+            if device_id not in run.routine.device_set:
+                continue  # case 1: arbitrary order
+            if device_id in run.devices_done:
+                continue  # case 3: serialize failure after R
+            if run.in_touch_phase(device_id):
+                # Case 4: the failure splits R's touches — unless every
+                # remaining command on the device is best-effort.
+                if self._has_must_command(run, device_id):
+                    self.request_abort(
+                        run, f"failure of device {device_id} mid-touch")
+            # Untouched device (case 2): tolerated if it restarts before
+            # R's first touch; otherwise the believed-failed check at
+            # touch time aborts/skips.
+
+    @staticmethod
+    def _has_must_command(run: RoutineRun, device_id: int) -> bool:
+        return any(c.must for c in run.commands
+                   if c.device_id == device_id)
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def serialization_edges(self) -> List[Tuple[int, int]]:
+        """Live precedence edges (testing/visualisation)."""
+        edges = []
+        for lineage in self.table.lineages():
+            owners = lineage.owners()
+            edges.extend(zip(owners, owners[1:]))
+        return edges

@@ -1,0 +1,78 @@
+"""Global Strict Visibility (GSV) and Strong GSV (§2.1, §3).
+
+GSV executes at most one routine at a time, presenting a single
+serialized home at every point in time.  Failure serialization (§3):
+if a device failure or restart event is detected while a routine is
+executing, the routine aborts —
+
+* **GSV (loose)**: only when the routine touches the failed/restarted
+  device;
+* **S-GSV (strong)**: on *any* device's failure/restart event.
+"""
+
+from typing import List, Optional
+
+from repro.core.controller import RoutineRun, RoutineStatus
+from repro.core.sequential_mixin import SequentialExecutionMixin
+
+
+class GlobalStrictVisibilityController(SequentialExecutionMixin):
+    """One routine at a time, FIFO; loose failure serialization."""
+
+    model_name = "gsv"
+    strong = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._queue: List[RoutineRun] = []
+        self._current: Optional[RoutineRun] = None
+
+    def _arrive(self, run: RoutineRun) -> None:
+        run.status = RoutineStatus.WAITING
+        self._queue.append(run)
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._current is not None and not self._current.done:
+            return
+        self._current = None
+        while self._queue:
+            run = self._queue.pop(0)
+            if run.done:
+                continue
+            self._current = run
+            self._begin(run)
+            self._run_next(run)
+            return
+
+    def _policy_after_finish(self, run: RoutineRun) -> None:
+        if run is self._current:
+            self._current = None
+        self._maybe_start()
+
+    def _abort_current_if_affected(self, device_id: int,
+                                   event: str) -> None:
+        run = self._current
+        if run is None or run.done:
+            return
+        # Loose GSV aborts when the routine touches the device with a
+        # *must* command (best-effort touches are skippable, §2.2);
+        # S-GSV aborts on any device's event.
+        affected = self.strong or any(
+            c.must and c.device_id == device_id for c in run.commands)
+        if affected:
+            self.request_abort(
+                run, f"{event} of device {device_id} during execution")
+
+    def _policy_on_failure(self, device_id: int) -> None:
+        self._abort_current_if_affected(device_id, "failure")
+
+    def _policy_on_restart(self, device_id: int) -> None:
+        self._abort_current_if_affected(device_id, "restart")
+
+
+class StrongGSVController(GlobalStrictVisibilityController):
+    """S-GSV: abort the running routine on any failure/restart event."""
+
+    model_name = "sgsv"
+    strong = True

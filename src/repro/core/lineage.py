@@ -1,0 +1,410 @@
+"""The locking data-structure: per-device lineages (§4.2–4.3).
+
+A device's *lineage* is the planned transition order of its virtual
+lock: the latest committed state followed by lock-access entries, left
+to right.  The list order **is** the serialization order — a routine may
+only execute on a device once every entry to the left of its own is
+``RELEASED`` (or removed).  Planned times guide Timeline placement but
+never override list order, so serializability holds even when duration
+estimates are wrong.
+
+Leases are placements: a *pre-lease* inserts a new access before an
+existing ``SCHEDULED`` access; a *post-lease* is an acquisition that
+follows a ``RELEASED`` access whose owner has not finished.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import LineageInvariantError
+
+# Sentinel distinguishing "no write applied yet" from "wrote None".
+UNSET = object()
+
+
+class LockStatus(enum.Enum):
+    """Lifecycle of a lock-access entry (Invariant 3: R ← A ← S)."""
+
+    SCHEDULED = "S"
+    ACQUIRED = "A"
+    RELEASED = "R"
+
+
+_STATUS_RANK = {LockStatus.RELEASED: 0, LockStatus.ACQUIRED: 1,
+                LockStatus.SCHEDULED: 2}
+
+
+@dataclass
+class LockAccess:
+    """One routine's lock-access on one device (Fig 5 row entry)."""
+
+    routine_id: int
+    device_id: int
+    status: LockStatus = LockStatus.SCHEDULED
+    planned_start: float = 0.0
+    duration: float = 0.0
+    writes: bool = True
+    reads: bool = False
+    final_value: Any = UNSET       # intended last write on this device
+    applied_value: Any = UNSET     # actual last applied write
+    acquired_at: Optional[float] = None
+    released_at: Optional[float] = None
+    # True when this access was inserted before existing entries — i.e.
+    # it borrows the lock via a pre-lease and is subject to revocation.
+    pre_leased: bool = False
+
+    @property
+    def planned_end(self) -> float:
+        return self.planned_start + self.duration
+
+    def __repr__(self) -> str:
+        return (f"[{self.status.value}:R{self.routine_id}"
+                f"@{self.planned_start:g}+{self.duration:g}]")
+
+
+@dataclass(frozen=True)
+class Gap:
+    """A free interval in a device's projected timeline.
+
+    ``index`` is the position in the lineage's entry list where a new
+    access placed in this gap would be inserted.
+    """
+
+    device_id: int
+    index: int
+    start: float
+    end: float  # math.inf for the tail gap
+
+    def fits(self, earliest: float, duration: float) -> bool:
+        return max(self.start, earliest) + duration <= self.end
+
+    def placement(self, earliest: float) -> float:
+        return max(self.start, earliest)
+
+
+class Lineage:
+    """Lock-access list plus committed state for one device."""
+
+    def __init__(self, device_id: int, committed_state: Any = UNSET) -> None:
+        self.device_id = device_id
+        self.entries: List[LockAccess] = []
+        self.committed_state = committed_state
+        self.committed_source: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def index_of(self, routine_id: int) -> Optional[int]:
+        for index, entry in enumerate(self.entries):
+            if entry.routine_id == routine_id:
+                return index
+        return None
+
+    def entry_for(self, routine_id: int) -> Optional[LockAccess]:
+        index = self.index_of(routine_id)
+        return None if index is None else self.entries[index]
+
+    def owners(self) -> List[int]:
+        return [entry.routine_id for entry in self.entries]
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, index: int, access: LockAccess) -> None:
+        if access.device_id != self.device_id:
+            raise LineageInvariantError("access belongs to another device")
+        if self.index_of(access.routine_id) is not None:
+            raise LineageInvariantError(
+                f"routine {access.routine_id} already has an access on "
+                f"device {self.device_id}")
+        if not 0 <= index <= len(self.entries):
+            raise LineageInvariantError(f"bad insert index {index}")
+        # Invariant 3: never insert a SCHEDULED entry to the left of a
+        # RELEASED or ACQUIRED one.
+        for earlier in self.entries[index:]:
+            if _STATUS_RANK[earlier.status] < _STATUS_RANK[access.status]:
+                raise LineageInvariantError(
+                    "insert would put a newer-status entry before an "
+                    f"older one on device {self.device_id}")
+        self.entries.insert(index, access)
+
+    def append(self, access: LockAccess) -> None:
+        self.insert(len(self.entries), access)
+
+    def remove(self, routine_id: int) -> Optional[LockAccess]:
+        index = self.index_of(routine_id)
+        if index is None:
+            return None
+        return self.entries.pop(index)
+
+    # -- lock lifecycle ---------------------------------------------------------
+
+    def can_acquire(self, routine_id: int, *,
+                    finished: Callable[[int], bool],
+                    wants_read: bool = False) -> bool:
+        """True when ``routine_id``'s entry may become ACQUIRED now.
+
+        Every entry to the left must be RELEASED; additionally the
+        dirty-read guard (§4.1) blocks a reader behind a released access
+        whose *unfinished* owner wrote the device.
+        """
+        index = self.index_of(routine_id)
+        if index is None:
+            return False
+        for earlier in self.entries[:index]:
+            if earlier.status is not LockStatus.RELEASED:
+                return False
+            dirty = (earlier.writes and wants_read
+                     and not finished(earlier.routine_id))
+            if dirty:
+                return False
+        return True
+
+    def acquire(self, routine_id: int, now: float) -> LockAccess:
+        index = self.index_of(routine_id)
+        if index is None:
+            raise LineageInvariantError(
+                f"routine {routine_id} has no access on device "
+                f"{self.device_id}")
+        for earlier in self.entries[:index]:
+            if earlier.status is not LockStatus.RELEASED:
+                raise LineageInvariantError(
+                    f"acquire out of order on device {self.device_id}: "
+                    f"{earlier} precedes R{routine_id}")
+        entry = self.entries[index]
+        if entry.status is not LockStatus.SCHEDULED:
+            raise LineageInvariantError(
+                f"double acquire by R{routine_id} on device {self.device_id}")
+        entry.status = LockStatus.ACQUIRED
+        entry.acquired_at = now
+        self.check_local_invariants()
+        return entry
+
+    def release(self, routine_id: int, now: float) -> LockAccess:
+        entry = self.entry_for(routine_id)
+        if entry is None or entry.status is not LockStatus.ACQUIRED:
+            raise LineageInvariantError(
+                f"release without acquire by R{routine_id} on device "
+                f"{self.device_id}")
+        entry.status = LockStatus.RELEASED
+        entry.released_at = now
+        return entry
+
+    # -- invariants (§4.3) -------------------------------------------------------
+
+    def check_local_invariants(self) -> None:
+        """Invariants 2 and 3 for this lineage; raises on violation."""
+        acquired = sum(1 for e in self.entries
+                       if e.status is LockStatus.ACQUIRED)
+        if acquired > 1:
+            raise LineageInvariantError(
+                f"invariant 2 violated on device {self.device_id}: "
+                f"{acquired} ACQUIRED entries")
+        ranks = [_STATUS_RANK[e.status] for e in self.entries]
+        if ranks != sorted(ranks):
+            raise LineageInvariantError(
+                f"invariant 3 violated on device {self.device_id}: "
+                f"{self.entries}")
+
+    def planned_overlaps(self) -> List[Tuple[LockAccess, LockAccess]]:
+        """Invariant 1 check on *scheduled* planned times."""
+        overlaps = []
+        future = [e for e in self.entries if e.status is LockStatus.SCHEDULED]
+        for first, second in zip(future, future[1:]):
+            if second.planned_start < first.planned_end:
+                overlaps.append((first, second))
+        return overlaps
+
+    # -- status inference (Fig 8) --------------------------------------------------
+
+    def inferred_state(self) -> Any:
+        """Estimate the device's current state without querying it."""
+        acquired = [e for e in self.entries
+                    if e.status is LockStatus.ACQUIRED]
+        if acquired:
+            entry = acquired[-1]
+            if entry.applied_value is not UNSET:
+                return entry.applied_value
+        released = [e for e in self.entries
+                    if e.status is LockStatus.RELEASED
+                    and e.applied_value is not UNSET]
+        if released:
+            return released[-1].applied_value
+        return self.committed_state
+
+    def rollback_target(self, routine_id: int) -> Any:
+        """State to restore when aborting ``routine_id`` (§4.3).
+
+        The immediately-left entry that actually applied a write wins;
+        otherwise the committed state.
+        """
+        index = self.index_of(routine_id)
+        if index is None:
+            raise LineageInvariantError(
+                f"routine {routine_id} not in lineage {self.device_id}")
+        for earlier in reversed(self.entries[:index]):
+            if earlier.applied_value is not UNSET:
+                return earlier.applied_value
+        return self.committed_state
+
+    def is_last_writer(self, routine_id: int) -> bool:
+        """True when no successor has applied a write after this routine."""
+        index = self.index_of(routine_id)
+        if index is None:
+            return False
+        entry = self.entries[index]
+        if entry.applied_value is UNSET:
+            return False
+        for later in self.entries[index + 1:]:
+            if later.applied_value is not UNSET:
+                return False
+        return True
+
+    # -- projection / gaps (Timeline scheduling) ------------------------------------
+
+    def projected_intervals(self, now: float,
+                            end_estimator: Optional[
+                                Callable[[LockAccess], float]] = None
+                            ) -> List[Tuple[LockAccess, float, float]]:
+        """(entry, start, end) projections for not-yet-released entries."""
+        intervals: List[Tuple[LockAccess, float, float]] = []
+        cursor = now
+        for entry in self.entries:
+            if entry.status is LockStatus.RELEASED:
+                continue
+            if entry.status is LockStatus.ACQUIRED:
+                start = entry.acquired_at if entry.acquired_at is not None \
+                    else now
+                end = max(now, start + entry.duration)
+                if end_estimator is not None:
+                    end = max(end, end_estimator(entry))
+            else:
+                start = max(cursor, entry.planned_start)
+                end = start + entry.duration
+            intervals.append((entry, start, end))
+            cursor = end
+        return intervals
+
+    def gaps(self, now: float,
+             end_estimator: Optional[Callable[[LockAccess], float]] = None
+             ) -> List[Gap]:
+        """Free intervals from ``now`` on, each tagged with insert index."""
+        import math
+
+        intervals = self.projected_intervals(now, end_estimator)
+        gaps: List[Gap] = []
+        cursor = now
+        released_count = sum(1 for e in self.entries
+                             if e.status is LockStatus.RELEASED)
+        position = released_count
+        for entry, start, end in intervals:
+            if start > cursor:
+                gaps.append(Gap(self.device_id, position, cursor, start))
+            cursor = max(cursor, end)
+            position += 1
+        gaps.append(Gap(self.device_id, position, cursor, math.inf))
+        return gaps
+
+
+class LineageTable:
+    """All device lineages plus the wait queue bookkeeping (Fig 4).
+
+    ``committed_lookup`` (device_id → state) seeds a lineage's committed
+    state lazily at first use, so devices may be registered after the
+    controller is constructed.
+    """
+
+    def __init__(self, committed_lookup: Optional[
+            Callable[[int], Any]] = None) -> None:
+        self._lineages: Dict[int, Lineage] = {}
+        self._committed_lookup = committed_lookup
+
+    def lineage(self, device_id: int) -> Lineage:
+        if device_id not in self._lineages:
+            committed = UNSET
+            if self._committed_lookup is not None:
+                committed = self._committed_lookup(device_id)
+            self._lineages[device_id] = Lineage(device_id, committed)
+        return self._lineages[device_id]
+
+    def __contains__(self, device_id: int) -> bool:
+        return device_id in self._lineages
+
+    def lineages(self) -> Iterable[Lineage]:
+        return self._lineages.values()
+
+    def set_committed(self, device_id: int, value: Any,
+                      source: Optional[int] = None) -> None:
+        lineage = self.lineage(device_id)
+        lineage.committed_state = value
+        lineage.committed_source = source
+
+    def committed(self, device_id: int) -> Any:
+        return self.lineage(device_id).committed_state
+
+    def remove_routine(self, routine_id: int) -> List[int]:
+        """Drop every access of a routine; returns affected device ids."""
+        affected = []
+        for lineage in self._lineages.values():
+            if lineage.remove(routine_id) is not None:
+                affected.append(lineage.device_id)
+        return affected
+
+    def compact_commit(self, routine_id: int, device_id: int) -> List[int]:
+        """Commit compaction (Fig 7) for one device.
+
+        Removes the committing routine's access *and every access to its
+        left* — later routines in the serialization order overwrite the
+        effects of earlier ones ("last writer wins").  Returns the
+        routine ids whose accesses were compacted away.
+        """
+        lineage = self.lineage(device_id)
+        index = lineage.index_of(routine_id)
+        if index is None:
+            return []
+        removed = lineage.entries[:index + 1]
+        for entry in removed:
+            if entry.status is LockStatus.ACQUIRED:
+                raise LineageInvariantError(
+                    f"compaction would drop an ACQUIRED access: {entry}")
+        del lineage.entries[:index + 1]
+        return [e.routine_id for e in removed if e.routine_id != routine_id]
+
+    # -- invariant 4 ------------------------------------------------------------
+
+    def precedence_pairs(self) -> Dict[Tuple[int, int], List[int]]:
+        """(before, after) routine pairs implied by every lineage."""
+        pairs: Dict[Tuple[int, int], List[int]] = {}
+        for lineage in self._lineages.values():
+            owners = lineage.owners()
+            for i, before in enumerate(owners):
+                for after in owners[i + 1:]:
+                    pairs.setdefault((before, after), []).append(
+                        lineage.device_id)
+        return pairs
+
+    def verify_serialize_before(self) -> None:
+        """Invariant 4: pairwise order is consistent across devices."""
+        pairs = self.precedence_pairs()
+        for (before, after), devices in pairs.items():
+            if (after, before) in pairs:
+                raise LineageInvariantError(
+                    f"invariant 4 violated: R{before} and R{after} ordered "
+                    f"both ways (devices {devices} vs "
+                    f"{pairs[(after, before)]})")
+
+    def verify_all(self) -> None:
+        """Full invariant sweep (used by tests and paranoid mode)."""
+        for lineage in self._lineages.values():
+            lineage.check_local_invariants()
+            overlaps = lineage.planned_overlaps()
+            if overlaps:
+                raise LineageInvariantError(
+                    f"invariant 1 violated on device {lineage.device_id}: "
+                    f"{overlaps}")
+        self.verify_serialize_before()

@@ -1,0 +1,87 @@
+"""Partitioned Strict Visibility (PSV) (§2.1, §3).
+
+Non-conflicting routines run concurrently; conflicting routines are
+serialized in arrival order.  Failure serialization modifies Eventual
+Visibility's rules with condition 3* (§3): a failure after the
+routine's last touch of a device is serializable *only if the device
+has recovered by the routine's finish point* — otherwise the routine
+aborts at its finish point (which is why PSV's rollback overhead is
+high, §7.4).
+"""
+
+from typing import List, Set
+
+from repro.core.controller import RoutineRun, RoutineStatus
+from repro.core.sequential_mixin import SequentialExecutionMixin
+
+
+class PartitionedStrictVisibilityController(SequentialExecutionMixin):
+    """Conflict-serialized execution with finish-point failure checks."""
+
+    model_name = "psv"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._queue: List[RoutineRun] = []
+        self._running: List[RoutineRun] = []
+
+    def _arrive(self, run: RoutineRun) -> None:
+        run.status = RoutineStatus.WAITING
+        self._queue.append(run)
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        """Start every queued routine that conflicts with nothing ahead.
+
+        A waiting routine must not overtake an earlier-queued routine it
+        conflicts with, otherwise conflicting routines would not be
+        serialized in arrival order.
+        """
+        blocked: Set[int] = set()
+        for run in self._running:
+            if not run.done:
+                blocked |= run.routine.device_set
+        still_waiting: List[RoutineRun] = []
+        for run in list(self._queue):
+            if run.done:
+                continue
+            devices = run.routine.device_set
+            if devices & blocked:
+                still_waiting.append(run)
+                blocked |= devices
+                continue
+            self._running.append(run)
+            self._begin(run)
+            self._run_next(run)
+            blocked |= devices
+        self._queue = still_waiting
+
+    def _policy_after_finish(self, run: RoutineRun) -> None:
+        if run in self._running:
+            self._running.remove(run)
+        self._maybe_start()
+
+    # -- failure serialization (EV rules with condition 3*) ------------------
+
+    def _policy_on_failure(self, device_id: int) -> None:
+        for run in list(self._running):
+            if run.done or device_id not in run.routine.device_set:
+                continue
+            if run.in_touch_phase(device_id):
+                self.request_abort(
+                    run, f"failure of device {device_id} mid-touch")
+            elif device_id in run.devices_done:
+                run.failed_after_last_touch.add(device_id)
+            # Not yet touched: the believed-failed check at touch time
+            # aborts (must) or skips (best-effort) if it has not
+            # recovered — condition 2 allows fail+restart before first
+            # touch.
+
+    def _finish_point(self, run: RoutineRun) -> None:
+        still_down = {d for d in run.failed_after_last_touch
+                      if d in self.believed_failed}
+        if still_down:
+            self.abort(run, f"devices {sorted(still_down)} failed after "
+                            "last touch and not recovered at finish point")
+            return
+        self.commit(run)

@@ -1,0 +1,168 @@
+"""Routines: sequences of commands, and their lock-request footprint.
+
+A routine touches each of its devices through one *lock-access* spanning
+its first to its last command on that device (§4.3's lock-accessD(Ri)).
+:func:`Routine.lock_requests` derives that footprint together with the
+relative time offsets the Timeline scheduler needs.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.command import Command
+from repro.errors import RoutineSpecError
+
+
+@dataclass(frozen=True)
+class LockRequest:
+    """A routine's aggregate footprint on one device.
+
+    Attributes:
+        device_id: the device.
+        offset: seconds after routine start when the first command on
+            this device begins (assuming no lock waits).
+        duration: seconds from that first command's start to the last
+            command's end on this device.
+        command_indexes: indexes into ``routine.commands``.
+        writes: True if any command in the span writes the device.
+        reads: True if any command in the span reads the device.
+    """
+
+    device_id: int
+    offset: float
+    duration: float
+    command_indexes: tuple
+    writes: bool
+    reads: bool
+
+
+@dataclass
+class Routine:
+    """A user- or trigger-initiated sequence of commands.
+
+    Attributes:
+        name: label ("goodnight", "R1", ...).
+        commands: executed strictly in order.
+        user: optional submitting user (scenarios).
+        trigger: optional trigger description (dispatcher).
+    """
+
+    name: str
+    commands: List[Command]
+    user: str = ""
+    trigger: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise RoutineSpecError(f"routine {self.name!r} has no commands")
+        self._check_contiguous_devices()
+
+    def _check_contiguous_devices(self) -> None:
+        """Reject A,B,A device patterns.
+
+        One lock-access per device must span first→last touch; a routine
+        that touches A, then B, then A again would need its A lock-access
+        to *contain* B's, which Algorithm 1's sequential gap chaining
+        cannot place.  Workload generators always emit contiguous
+        per-device groups, so we enforce it here.
+        """
+        seen: Dict[int, int] = {}
+        previous: Optional[int] = None
+        for index, command in enumerate(self.commands):
+            dev = command.device_id
+            if dev in seen and previous != dev:
+                raise RoutineSpecError(
+                    f"routine {self.name!r} touches device {dev} "
+                    f"non-contiguously (commands {seen[dev]} and {index})"
+                )
+            if dev not in seen:
+                seen[dev] = index
+            previous = dev
+
+    # -- derived footprint ---------------------------------------------------
+
+    @property
+    def device_ids(self) -> List[int]:
+        """Devices touched, in first-touch order (no duplicates)."""
+        ordered: List[int] = []
+        for command in self.commands:
+            if command.device_id not in ordered:
+                ordered.append(command.device_id)
+        return ordered
+
+    @property
+    def device_set(self) -> frozenset:
+        return frozenset(c.device_id for c in self.commands)
+
+    def conflicts_with(self, other: "Routine") -> bool:
+        """True when the two routines touch at least one common device."""
+        return bool(self.device_set & other.device_set)
+
+    @property
+    def total_duration(self) -> float:
+        """Ideal (lock-wait-free) execution time of the routine."""
+        return sum(c.duration for c in self.commands)
+
+    @property
+    def is_long(self) -> bool:
+        """A long routine contains at least one long command (§1)."""
+        return any(c.is_long for c in self.commands)
+
+    def command_offsets(self) -> List[float]:
+        """Start offset of each command under back-to-back execution."""
+        offsets, elapsed = [], 0.0
+        for command in self.commands:
+            offsets.append(elapsed)
+            elapsed += command.duration
+        return offsets
+
+    def lock_requests(self) -> List[LockRequest]:
+        """Per-device lock-accesses in first-touch order."""
+        offsets = self.command_offsets()
+        requests: List[LockRequest] = []
+        for device_id in self.device_ids:
+            indexes = [i for i, c in enumerate(self.commands)
+                       if c.device_id == device_id]
+            start = offsets[indexes[0]]
+            last = indexes[-1]
+            end = offsets[last] + self.commands[last].duration
+            requests.append(LockRequest(
+                device_id=device_id,
+                offset=start,
+                duration=end - start,
+                command_indexes=tuple(indexes),
+                writes=any(self.commands[i].is_write for i in indexes),
+                reads=any(self.commands[i].is_read for i in indexes),
+            ))
+        return requests
+
+    def final_write_values(self) -> Dict[int, Any]:
+        """Last written value per device — the routine's end-state effect.
+
+        Used by the serial-equivalence checkers: in a serial world, a
+        routine's effect on each device is its last write.
+        """
+        values: Dict[int, Any] = {}
+        for command in self.commands:
+            if command.is_write:
+                values[command.device_id] = command.value
+        return values
+
+    def describe(self) -> str:
+        steps = "; ".join(c.describe() for c in self.commands)
+        return f"{self.name}: {steps}"
+
+
+def sequential(name: str, steps: Sequence[tuple], **kwargs: Any) -> Routine:
+    """Convenience constructor from ``(device_id, value, duration)`` tuples.
+
+    >>> cooling = sequential("cooling", [(1, "CLOSED", 1.0), (2, "ON", 1.0)])
+    """
+    commands = []
+    for step in steps:
+        device_id, value, duration = step[0], step[1], step[2]
+        must = step[3] if len(step) > 3 else True
+        commands.append(Command(device_id=device_id, value=value,
+                                duration=duration, must=must))
+    return Routine(name=name, commands=commands, **kwargs)

@@ -1,0 +1,33 @@
+"""Scheduling policies for Eventual Visibility (§5).
+
+* **FCFS** — serialize in arrival order; post-leases only.
+* **JiT** — greedy eligibility test on arrival and on every lock
+  release, with a TTL against starvation.
+* **Timeline (TL)** — speculative placement into lineage gaps using
+  duration estimates (Algorithm 1 backtracking).
+"""
+
+from repro.core.schedulers.base import Scheduler
+from repro.core.schedulers.fcfs import FCFSScheduler
+from repro.core.schedulers.jit import JiTScheduler
+from repro.core.schedulers.timeline import TimelineScheduler
+
+_SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "jit": JiTScheduler,
+    "timeline": TimelineScheduler,
+    "tl": TimelineScheduler,
+}
+
+
+def make_scheduler(name: str, controller) -> Scheduler:
+    """Instantiate a scheduler by config name ('fcfs'|'jit'|'timeline')."""
+    cls = _SCHEDULERS.get(name.lower())
+    if cls is None:
+        raise ValueError(
+            f"unknown scheduler {name!r}; pick from {sorted(_SCHEDULERS)}")
+    return cls(controller)
+
+
+__all__ = ["Scheduler", "FCFSScheduler", "JiTScheduler",
+           "TimelineScheduler", "make_scheduler"]

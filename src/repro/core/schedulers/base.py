@@ -1,0 +1,49 @@
+"""Scheduler interface and shared placement helpers."""
+
+from typing import TYPE_CHECKING, List
+
+from repro.core.controller import RoutineRun
+from repro.core.ev import Placement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ev import EventualVisibilityController
+
+
+class Scheduler:
+    """Decides when/where a routine's lock-accesses enter the lineage."""
+
+    name = "base"
+
+    def __init__(self, controller: "EventualVisibilityController") -> None:
+        self.controller = controller
+
+    # -- events from the controller ------------------------------------------------
+
+    def on_arrive(self, run: RoutineRun) -> None:
+        raise NotImplementedError
+
+    def on_release(self, device_id: int) -> None:
+        """A lock-access on ``device_id`` was released or removed."""
+
+    def on_finish(self, run: RoutineRun) -> None:
+        """A routine committed or aborted."""
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def tail_placements(self, run: RoutineRun) -> List[Placement]:
+        """Append-to-tail placement: serialization after every current
+        access (the FCFS placement; also every scheduler's fallback)."""
+        controller = self.controller
+        now = controller.sim.now
+        placements: List[Placement] = []
+        earliest = now
+        estimator = controller.routine_end_estimator()
+        for request in run.routine.lock_requests():
+            lineage = controller.table.lineage(request.device_id)
+            duration = controller.estimate_duration(run, request)
+            tail_gap = lineage.gaps(now, estimator)[-1]
+            start = tail_gap.placement(earliest)
+            placements.append(Placement(request, tail_gap.index,
+                                        start, duration))
+            earliest = start + duration
+        return placements

@@ -1,0 +1,19 @@
+"""First-Come-First-Serve scheduling (§5).
+
+Routines are serialized in arrival order: every lock-access is appended
+to its device's lineage at arrival.  Pre-leases would reorder arrivals,
+so FCFS never uses them; post-leases still apply (a released access lets
+the next arrival in).
+"""
+
+from repro.core.controller import RoutineRun
+from repro.core.schedulers.base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Append-at-tail placement in arrival order."""
+
+    name = "fcfs"
+
+    def on_arrive(self, run: RoutineRun) -> None:
+        self.controller.place_run(run, self.tail_placements(run))

@@ -1,0 +1,120 @@
+"""Timeline (TL) scheduling — Algorithm 1 (§5).
+
+TL speculatively places a new routine's lock-accesses into *gaps* of the
+projected per-device timelines, using duration estimates.  For each
+access it tries gaps left to right; a gap is valid when the transitive
+preSet/postSet of the implied serialization position are disjoint
+(no contradiction with previously decided orders).  On failure it
+backtracks and tries the next gap.  The all-tails placement always
+succeeds, so the search terminates.
+
+A stretch-admission check (Fig 9c) rejects placements that would
+stretch the new routine beyond ``config.stretch_threshold`` × its ideal
+runtime when the plain tail placement would stretch it less.
+"""
+
+import time as _time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.controller import RoutineRun
+from repro.core.ev import Placement
+from repro.core.lineage import Gap
+from repro.core.schedulers.base import Scheduler
+
+# Cap on gaps tried per lock-access; keeps worst-case search polynomial
+# while far exceeding realistic lineage sizes.
+MAX_GAPS_PER_ACCESS = 32
+
+
+class TimelineScheduler(Scheduler):
+    """Backtracking gap placement with estimate-driven timelines."""
+
+    name = "timeline"
+
+    def __init__(self, controller) -> None:
+        super().__init__(controller)
+        # Wall-clock seconds spent inside the placement search, per
+        # routine size — reproduces Fig 15d.
+        self.insertion_times: List[Tuple[int, float]] = []
+
+    def on_arrive(self, run: RoutineRun) -> None:
+        started = _time.perf_counter()
+        placements = self._place(run)
+        self.insertion_times.append(
+            (len(run.commands), _time.perf_counter() - started))
+        self.controller.place_run(run, placements)
+
+    # -- Algorithm 1 -----------------------------------------------------------------
+
+    def _place(self, run: RoutineRun) -> List[Placement]:
+        controller = self.controller
+        now = controller.sim.now
+        requests = run.routine.lock_requests()
+        durations = [controller.estimate_duration(run, request)
+                     for request in requests]
+        estimator = controller.routine_end_estimator()
+        gaps_by_device: Dict[int, List[Gap]] = {}
+        for request in requests:
+            lineage = controller.table.lineage(request.device_id)
+            gaps = lineage.gaps(now, estimator)
+            if not controller.config.pre_lease:
+                gaps = gaps[-1:]  # tail only: no placement before others
+            gaps_by_device[request.device_id] = gaps[:MAX_GAPS_PER_ACCESS]
+
+        closures = controller.closure_sets()
+        assignment: List[Optional[Placement]] = [None] * len(requests)
+
+        def schedule(index: int, earliest: float,
+                     pre: set, post: set) -> bool:
+            """Recursive backtracking placement (Algorithm 1)."""
+            if index >= len(requests):
+                return True
+            request = requests[index]
+            duration = durations[index]
+            for gap in gaps_by_device[request.device_id]:
+                if not gap.fits(earliest, duration):
+                    continue
+                start = gap.placement(earliest)
+                gap_pre, gap_post = controller.before_after_for_gap(
+                    request.device_id, gap.index, closures)
+                cur_pre = pre | gap_pre
+                cur_post = post | gap_post
+                if cur_pre & cur_post:
+                    continue  # serialization violated: try next gap
+                assignment[index] = Placement(request, gap.index,
+                                              start, duration)
+                if schedule(index + 1, start + duration,
+                            cur_pre, cur_post):
+                    return True
+                assignment[index] = None
+            return False
+
+        if not schedule(0, now, set(), set()):
+            # Unreachable in theory (tail gaps always compose), but fall
+            # back gracefully rather than dying mid-simulation.
+            return self.tail_placements(run)
+
+        placements = [p for p in assignment if p is not None]
+        return self._admit(run, placements, durations)
+
+    # -- stretch admission --------------------------------------------------------------
+
+    def _admit(self, run: RoutineRun, placements: List[Placement],
+               durations: List[float]) -> List[Placement]:
+        ideal = sum(durations)
+        if ideal <= 0:
+            return placements
+        threshold = self.controller.config.stretch_threshold
+        stretch = self._stretch_of(placements, ideal)
+        if stretch <= threshold:
+            return placements
+        tail = self.tail_placements(run)
+        if self._stretch_of(tail, ideal) < stretch:
+            return tail
+        return placements
+
+    @staticmethod
+    def _stretch_of(placements: List[Placement], ideal: float) -> float:
+        start = placements[0].planned_start
+        end = placements[-1].planned_start + placements[-1].duration
+        return (end - start) / ideal

@@ -1,0 +1,122 @@
+"""JSON routine specifications (paper Fig 10).
+
+SafeHome's routine format is compatible with mainstream hubs: a routine
+is a named list of command objects.  Example::
+
+    {
+      "routineName": "Prepare Breakfast",
+      "commands": [
+        {"device": "coffee_maker-0", "action": "ON",
+         "durationSec": 240, "priority": "MUST"},
+        {"device": "toaster-0", "action": "ON",
+         "durationSec": 120, "priority": "BEST_EFFORT"}
+      ]
+    }
+"""
+
+import json
+from typing import Any, Dict, Union
+
+from repro.core.command import Command
+from repro.core.routine import Routine
+from repro.devices.registry import DeviceRegistry
+from repro.errors import RoutineSpecError
+
+_PRIORITIES = {"MUST": True, "BEST_EFFORT": False}
+
+
+def parse_routine(spec: Union[str, Dict[str, Any]],
+                  registry: DeviceRegistry) -> Routine:
+    """Build a :class:`Routine` from a JSON string or parsed dict.
+
+    Device references may be names (``"coffee_maker-0"``) or integer ids.
+
+    Raises:
+        RoutineSpecError: on any malformed field.
+    """
+    if isinstance(spec, str):
+        try:
+            spec = json.loads(spec)
+        except json.JSONDecodeError as exc:
+            raise RoutineSpecError(f"invalid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise RoutineSpecError("routine spec must be a JSON object")
+
+    name = spec.get("routineName") or spec.get("name")
+    if not name:
+        raise RoutineSpecError("routine spec missing 'routineName'")
+    raw_commands = spec.get("commands")
+    if not isinstance(raw_commands, list) or not raw_commands:
+        raise RoutineSpecError("routine spec needs a non-empty 'commands'")
+
+    commands = []
+    for position, entry in enumerate(raw_commands):
+        commands.append(_parse_command(entry, position, registry))
+    return Routine(name=name, commands=commands,
+                   user=spec.get("user", ""),
+                   trigger=spec.get("trigger", ""))
+
+
+def _parse_command(entry: Dict[str, Any], position: int,
+                   registry: DeviceRegistry) -> Command:
+    if not isinstance(entry, dict):
+        raise RoutineSpecError(f"command #{position} must be an object")
+    device_ref = entry.get("device")
+    if device_ref is None:
+        raise RoutineSpecError(f"command #{position} missing 'device'")
+    if isinstance(device_ref, int):
+        device_id = registry.get(device_ref).device_id
+    else:
+        device_id = registry.by_name(str(device_ref)).device_id
+
+    priority = str(entry.get("priority", "MUST")).upper()
+    if priority not in _PRIORITIES:
+        raise RoutineSpecError(
+            f"command #{position}: unknown priority {priority!r}")
+
+    is_read = bool(entry.get("read", False))
+    action = entry.get("action")
+    if not is_read and action is None:
+        raise RoutineSpecError(f"command #{position} missing 'action'")
+
+    duration = float(entry.get("durationSec", 0.0))
+    if duration < 0:
+        raise RoutineSpecError(f"command #{position}: negative duration")
+
+    return Command(device_id=device_id,
+                   value=None if is_read else action,
+                   duration=duration,
+                   must=_PRIORITIES[priority],
+                   is_read=is_read,
+                   undoable=bool(entry.get("undoable", True)),
+                   undo_value=entry.get("undoAction"),
+                   name=str(entry.get("name", "")))
+
+
+def routine_to_spec(routine: Routine,
+                    registry: DeviceRegistry) -> Dict[str, Any]:
+    """Inverse of :func:`parse_routine` (round-trips in tests)."""
+    commands = []
+    for command in routine.commands:
+        entry: Dict[str, Any] = {
+            "device": registry.get(command.device_id).name,
+            "durationSec": command.duration,
+            "priority": "MUST" if command.must else "BEST_EFFORT",
+        }
+        if command.is_read:
+            entry["read"] = True
+        else:
+            entry["action"] = command.value
+        if not command.undoable:
+            entry["undoable"] = False
+        if command.undo_value is not None:
+            entry["undoAction"] = command.undo_value
+        if command.name:
+            entry["name"] = command.name
+        commands.append(entry)
+    spec: Dict[str, Any] = {"routineName": routine.name, "commands": commands}
+    if routine.user:
+        spec["user"] = routine.user
+    if routine.trigger:
+        spec["trigger"] = routine.trigger
+    return spec

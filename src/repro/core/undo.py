@@ -1,0 +1,54 @@
+"""Undo handlers for physically irreversible commands (§2.2).
+
+Most commands roll back by restoring the device's prior state ("turn
+Light-3 ON" undoes to OFF).  Some actions cannot be physically undone —
+"run north sprinklers for 15 mins", "blare a test alarm" — for these the
+paper restores the device's pre-routine *state* (our default rollback
+already does exactly that) or applies a **user-specified undo-handler**.
+This registry implements the latter.
+"""
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.command import Command
+
+# An undo handler maps (command, prior_state) -> state to restore.
+UndoHandler = Callable[[Command, Any], Any]
+
+
+class UndoRegistry:
+    """Per-device and per-device-kind user-specified undo handlers."""
+
+    def __init__(self) -> None:
+        self._by_device: Dict[int, UndoHandler] = {}
+        self._default: Optional[UndoHandler] = None
+
+    def register(self, device_id: int, handler: UndoHandler) -> None:
+        self._by_device[device_id] = handler
+
+    def register_default(self, handler: UndoHandler) -> None:
+        self._default = handler
+
+    def resolve(self, command: Command, prior_state: Any) -> Any:
+        """The state to restore when undoing ``command``.
+
+        Precedence: the command's own ``undo_value`` (from its spec),
+        then a device-specific handler, then the default handler, then
+        the prior state (the paper's baseline behaviour).
+        """
+        if command.undo_value is not None:
+            return command.undo_value
+        handler = self._by_device.get(command.device_id, self._default)
+        if handler is not None:
+            return handler(command, prior_state)
+        return prior_state
+
+
+def quiesce_handler(quiet_state: Any) -> UndoHandler:
+    """A common pattern: undo always parks the device in a safe state
+    (sprinkler OFF, alarm DISARMED) regardless of its prior state."""
+
+    def handler(_command: Command, _prior: Any) -> Any:
+        return quiet_state
+
+    return handler

@@ -1,0 +1,55 @@
+"""Visibility-model factory (Table 1's spectrum)."""
+
+import enum
+from typing import Optional, Union
+
+from repro.core.controller import Controller, ControllerConfig
+from repro.core.ev import EventualVisibilityController
+from repro.core.gsv import GlobalStrictVisibilityController, \
+    StrongGSVController
+from repro.core.occ import OptimisticController
+from repro.core.psv import PartitionedStrictVisibilityController
+from repro.core.wv import WeakVisibilityController
+from repro.devices.driver import Driver
+from repro.devices.registry import DeviceRegistry
+from repro.sim.engine import Simulator
+
+
+class VisibilityModel(enum.Enum):
+    """The spectrum of §2.1 plus the strong GSV flavor of §3."""
+
+    WV = "wv"       # Weak Visibility (status quo)
+    GSV = "gsv"     # Global Strict Visibility (loose failure rule)
+    SGSV = "sgsv"   # Strong GSV
+    PSV = "psv"     # Partitioned Strict Visibility
+    EV = "ev"       # Eventual Visibility
+    OCC = "occ"     # Optimistic validation (the paper's future work)
+
+    @classmethod
+    def parse(cls, value: Union[str, "VisibilityModel"]) -> "VisibilityModel":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown visibility model {value!r}; "
+                f"pick from {[m.value for m in cls]}") from None
+
+
+_CONTROLLERS = {
+    VisibilityModel.WV: WeakVisibilityController,
+    VisibilityModel.GSV: GlobalStrictVisibilityController,
+    VisibilityModel.SGSV: StrongGSVController,
+    VisibilityModel.PSV: PartitionedStrictVisibilityController,
+    VisibilityModel.EV: EventualVisibilityController,
+    VisibilityModel.OCC: OptimisticController,
+}
+
+
+def make_controller(model: Union[str, VisibilityModel], sim: Simulator,
+                    registry: DeviceRegistry, driver: Driver,
+                    config: Optional[ControllerConfig] = None) -> Controller:
+    """Build the concurrency controller for a visibility model."""
+    model = VisibilityModel.parse(model)
+    return _CONTROLLERS[model](sim, registry, driver, config)

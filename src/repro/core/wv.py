@@ -1,0 +1,33 @@
+"""Weak Visibility (WV): today's status quo (§2.1).
+
+Routines execute as they arrive, as quickly as possible, with no
+isolation, no atomicity and no failure serialization.  Unreachable
+commands are silently skipped (best-effort), which is how current hubs
+behave and why Fig 1/Fig 12b show incongruent end states.
+"""
+
+from repro.core.command import CommandExecution
+from repro.core.controller import RoutineRun
+from repro.core.sequential_mixin import SequentialExecutionMixin
+
+
+class WeakVisibilityController(SequentialExecutionMixin):
+    """No locks, no serialization: every routine runs immediately."""
+
+    model_name = "wv"
+
+    def _arrive(self, run: RoutineRun) -> None:
+        self._begin(run)
+        self._run_next(run)
+
+    def _command_unreachable(self, run: RoutineRun,
+                             execution: CommandExecution,
+                             on_done) -> None:
+        # Status quo: failures are silent, even for must commands; the
+        # routine barrels on.
+        execution.finished_at = self.sim.now
+        execution.skipped = True
+        run.inflight = False
+        if run.done:
+            return
+        on_done(run, execution)

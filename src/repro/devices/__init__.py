@@ -1,0 +1,28 @@
+"""Simulated smart-home device substrate.
+
+The paper's implementation talks to TP-Link smart plugs through a device
+driver; commands are plain API calls (§6).  This package provides the
+simulated equivalent: device state machines, a registry, a driver layer
+with network latency, and fail-stop failure injection.
+"""
+
+from repro.devices.catalog import DEVICE_CATALOG, DeviceSpec, make_device
+from repro.devices.device import Device, DeviceKind
+from repro.devices.driver import CommandOutcome, Driver
+from repro.devices.failures import FailureInjector, FailurePlan
+from repro.devices.network import LatencyModel
+from repro.devices.registry import DeviceRegistry
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "DeviceRegistry",
+    "DeviceSpec",
+    "DEVICE_CATALOG",
+    "make_device",
+    "Driver",
+    "CommandOutcome",
+    "LatencyModel",
+    "FailureInjector",
+    "FailurePlan",
+]

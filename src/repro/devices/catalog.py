@@ -1,0 +1,89 @@
+"""A catalog of common smart-home device types.
+
+The scenarios (morning rush, party, factory) and examples build homes out
+of these specs, mirroring the device mix in the paper's trace-derived
+benchmarks (20-30 devices per home, §7.2).
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.devices.device import Device, DeviceKind
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Template for creating devices of a given type."""
+
+    type_name: str
+    kind: DeviceKind
+    initial_state: Any
+    # Representative states a routine may set; used by generators.
+    states: tuple
+
+
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {
+    "light": DeviceSpec("light", DeviceKind.SWITCH, "OFF", ("ON", "OFF")),
+    "plug": DeviceSpec("plug", DeviceKind.SWITCH, "OFF", ("ON", "OFF")),
+    "fan": DeviceSpec("fan", DeviceKind.SWITCH, "OFF", ("ON", "OFF")),
+    "ac": DeviceSpec("ac", DeviceKind.APPLIANCE, "OFF", ("ON", "OFF")),
+    "heater": DeviceSpec("heater", DeviceKind.APPLIANCE, "OFF", ("ON", "OFF")),
+    "window": DeviceSpec("window", DeviceKind.SHADE, "CLOSED",
+                         ("OPEN", "CLOSED")),
+    "shade": DeviceSpec("shade", DeviceKind.SHADE, "CLOSED",
+                        ("OPEN", "CLOSED")),
+    "garage": DeviceSpec("garage", DeviceKind.SHADE, "CLOSED",
+                         ("OPEN", "CLOSED")),
+    "door_lock": DeviceSpec("door_lock", DeviceKind.LOCK, "UNLOCKED",
+                            ("LOCKED", "UNLOCKED")),
+    "coffee_maker": DeviceSpec("coffee_maker", DeviceKind.APPLIANCE, "OFF",
+                               ("ON", "OFF")),
+    "pancake_maker": DeviceSpec("pancake_maker", DeviceKind.APPLIANCE, "OFF",
+                                ("ON", "OFF")),
+    "toaster": DeviceSpec("toaster", DeviceKind.APPLIANCE, "OFF",
+                          ("ON", "OFF")),
+    "oven": DeviceSpec("oven", DeviceKind.APPLIANCE, "OFF",
+                       ("ON", "OFF", "PREHEAT_400F")),
+    "dishwasher": DeviceSpec("dishwasher", DeviceKind.APPLIANCE, "OFF",
+                             ("ON", "OFF")),
+    "dryer": DeviceSpec("dryer", DeviceKind.APPLIANCE, "OFF", ("ON", "OFF")),
+    "washer": DeviceSpec("washer", DeviceKind.APPLIANCE, "OFF", ("ON", "OFF")),
+    "sprinkler": DeviceSpec("sprinkler", DeviceKind.ACTUATOR, "OFF",
+                            ("ON", "OFF")),
+    "vacuum": DeviceSpec("vacuum", DeviceKind.ACTUATOR, "DOCKED",
+                         ("CLEANING", "DOCKED")),
+    "mop": DeviceSpec("mop", DeviceKind.ACTUATOR, "DOCKED",
+                      ("MOPPING", "DOCKED")),
+    "trash_can": DeviceSpec("trash_can", DeviceKind.ACTUATOR, "INSIDE",
+                            ("DRIVEWAY", "INSIDE")),
+    "speaker": DeviceSpec("speaker", DeviceKind.APPLIANCE, "OFF",
+                          ("ON", "OFF", "ANNOUNCE")),
+    "thermostat": DeviceSpec("thermostat", DeviceKind.APPLIANCE, 70,
+                             (60, 65, 70, 75)),
+    "camera": DeviceSpec("camera", DeviceKind.SENSOR, "ON", ("ON", "OFF")),
+    "alarm": DeviceSpec("alarm", DeviceKind.APPLIANCE, "ARMED",
+                        ("ARMED", "DISARMED", "BLARE")),
+    "conveyor": DeviceSpec("conveyor", DeviceKind.ACTUATOR, "STOPPED",
+                           ("RUNNING", "STOPPED")),
+    "robot_arm": DeviceSpec("robot_arm", DeviceKind.ACTUATOR, "IDLE",
+                            ("PICK", "PLACE", "IDLE")),
+    "labeler": DeviceSpec("labeler", DeviceKind.ACTUATOR, "IDLE",
+                          ("LABEL", "IDLE")),
+}
+
+
+def make_device(device_id: int, type_name: str, name: str = "") -> Device:
+    """Instantiate a catalog device.
+
+    Args:
+        device_id: registry-unique id.
+        type_name: key into :data:`DEVICE_CATALOG`.
+        name: optional instance name; defaults to ``"{type}-{id}"``.
+    """
+    spec = DEVICE_CATALOG.get(type_name)
+    if spec is None:
+        raise KeyError(f"unknown device type {type_name!r}")
+    return Device(device_id=device_id,
+                  name=name or f"{type_name}-{device_id}",
+                  kind=spec.kind,
+                  initial_state=spec.initial_state)

@@ -1,0 +1,114 @@
+"""The device driver layer: commands are asynchronous API calls.
+
+SafeHome "works directly with the APIs which devices naturally provide
+(commands are API calls)" (§1, §6).  The driver adds network latency on
+the way to the device and reports success or failure back to the
+controller.  A call to a failed device times out after the detection
+timeout (100 ms by default), which doubles as implicit failure detection.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.devices.network import LatencyModel
+from repro.devices.registry import DeviceRegistry
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+class CommandOutcome(enum.Enum):
+    """Result of one device API call."""
+
+    APPLIED = "applied"
+    TIMED_OUT = "timed_out"      # device failed / unreachable
+
+
+@dataclass
+class IssueRecord:
+    """Audit record of one API call (used by tests and the metrics log)."""
+
+    time_issued: float
+    time_done: float
+    device_id: int
+    value: Any
+    outcome: CommandOutcome
+    source: Any
+
+
+@dataclass
+class Driver:
+    """Asynchronous command issue with latency and timeout semantics."""
+
+    sim: Simulator
+    registry: DeviceRegistry
+    latency: LatencyModel = field(default_factory=LatencyModel.deterministic)
+    streams: Optional[RandomStreams] = None
+    timeout_s: float = 0.1
+    records: List[IssueRecord] = field(default_factory=list)
+    # Called with (device_id,) whenever an API call times out; the hub's
+    # failure detector hooks this for implicit detection.
+    on_timeout: Optional[Callable[[int], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.streams is None:
+            self.streams = RandomStreams(seed=0)
+
+    def _delay(self) -> float:
+        return self.latency.sample(self.streams.stream("network"))
+
+    def issue(self, device_id: int, value: Any, source: Any,
+              callback: Callable[[CommandOutcome, Any], None]) -> None:
+        """Issue ``set device := value``; invoke ``callback(outcome,
+        prior)`` when done, where ``prior`` is the state the device held
+        just before the write landed (the rollback target).
+
+        The state change lands after one network delay; if the device is
+        failed at landing time the call times out ``timeout_s`` later.
+        """
+        issued_at = self.sim.now
+        delay = self._delay()
+
+        def land() -> None:
+            device = self.registry.get(device_id)
+            if device.failed:
+                self.sim.call_after(
+                    self.timeout_s, self._timed_out,
+                    issued_at, device_id, value, source, callback,
+                    label=f"timeout:{device.name}")
+                return
+            prior = device.state
+            device.apply(value, self.sim.now, source)
+            self.records.append(IssueRecord(
+                issued_at, self.sim.now, device_id, value,
+                CommandOutcome.APPLIED, source))
+            callback(CommandOutcome.APPLIED, prior)
+
+        self.sim.call_after(delay, land, label=f"land:{device_id}")
+
+    def _timed_out(self, issued_at: float, device_id: int, value: Any,
+                   source: Any,
+                   callback: Callable[[CommandOutcome, Any], None]) -> None:
+        self.records.append(IssueRecord(
+            issued_at, self.sim.now, device_id, value,
+            CommandOutcome.TIMED_OUT, source))
+        if self.on_timeout is not None:
+            self.on_timeout(device_id)
+        callback(CommandOutcome.TIMED_OUT, None)
+
+    def ping(self, device_id: int,
+             callback: Callable[[CommandOutcome], None]) -> None:
+        """Health probe used by the explicit failure detector."""
+        delay = self._delay()
+
+        def land() -> None:
+            device = self.registry.get(device_id)
+            if device.failed:
+                self.sim.call_after(
+                    self.timeout_s,
+                    lambda: callback(CommandOutcome.TIMED_OUT),
+                    label=f"ping-timeout:{device.name}")
+            else:
+                callback(CommandOutcome.APPLIED)
+
+        self.sim.call_after(delay, land, label=f"ping:{device_id}")

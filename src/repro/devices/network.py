@@ -1,0 +1,39 @@
+"""Network latency model for hub→device API calls.
+
+The paper's Figure 1 shows that concurrent routines produce incongruent
+end states in a *real* deployment — the mechanism is per-command network
+latency jitter reordering writes from different routines.  This model
+reproduces that: each API call experiences a lognormal delay.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class LatencyModel:
+    """Lognormal per-command network latency.
+
+    Attributes:
+        median_ms: median round-trip latency in milliseconds.
+        sigma: lognormal shape; 0 gives a deterministic latency.
+        floor_ms: minimum possible latency.
+    """
+
+    median_ms: float = 60.0
+    sigma: float = 0.6
+    floor_ms: float = 5.0
+
+    def sample(self, rng: random.Random) -> float:
+        """One latency draw, in *seconds*."""
+        if self.sigma <= 0:
+            return self.median_ms / 1000.0
+        mu = math.log(self.median_ms)
+        draw = rng.lognormvariate(mu, self.sigma)
+        return max(self.floor_ms, draw) / 1000.0
+
+    @classmethod
+    def deterministic(cls, latency_ms: float = 0.0) -> "LatencyModel":
+        """Zero-jitter model (useful for unit tests and Fig 2)."""
+        return cls(median_ms=max(latency_ms, 0.0), sigma=0.0, floor_ms=0.0)

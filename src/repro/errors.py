@@ -1,0 +1,29 @@
+"""Exception hierarchy for the SafeHome reproduction."""
+
+
+class SafeHomeError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(SafeHomeError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class DeviceError(SafeHomeError):
+    """A device-level problem (unknown device, bad value, ...)."""
+
+
+class DeviceUnavailableError(DeviceError):
+    """A command was issued to a failed device."""
+
+
+class RoutineSpecError(SafeHomeError):
+    """A routine definition is malformed."""
+
+
+class LineageInvariantError(SafeHomeError):
+    """An operation would violate one of the lineage-table invariants."""
+
+
+class SchedulingError(SafeHomeError):
+    """The scheduler could not place a routine."""

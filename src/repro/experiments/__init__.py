@@ -1,0 +1,9 @@
+"""Experiment drivers: one function per paper table/figure.
+
+``repro.experiments.runner`` executes a workload under a visibility
+model; ``repro.experiments.figures`` regenerates each figure's series.
+"""
+
+from repro.experiments.runner import ExperimentSetup, run_workload, run_trials
+
+__all__ = ["ExperimentSetup", "run_workload", "run_trials"]

@@ -1,0 +1,34 @@
+"""Plain-text table formatting for experiment outputs."""
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(rows: List[Dict[str, Any]],
+                 columns: Sequence[str] = ()) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table))
+              for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i])
+                       for i, col in enumerate(columns))
+    rule = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(line[i].ljust(widths[i])
+                               for i in range(len(columns)))
+                     for line in table)
+    return f"{header}\n{rule}\n{body}"
+
+
+def print_table(title: str, rows: List[Dict[str, Any]],
+                columns: Sequence[str] = ()) -> str:
+    text = f"\n== {title} ==\n{format_table(rows, columns)}\n"
+    print(text)
+    return text

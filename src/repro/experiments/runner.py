@@ -1,0 +1,183 @@
+"""Shared experiment executor.
+
+Builds a fresh simulator + device stack per trial, injects the workload
+(open-loop arrivals and/or closed-loop streams), runs to completion and
+returns the :class:`RunResult` (plus a :class:`MetricsReport` from
+:func:`repro.metrics.analyze`).
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.controller import (Controller, ControllerConfig, RoutineRun,
+                                   RunResult)
+from repro.core.visibility import VisibilityModel, make_controller
+from repro.devices.driver import Driver
+from repro.devices.failures import FailureInjector
+from repro.devices.network import LatencyModel
+from repro.devices.registry import DeviceRegistry
+from repro.hub.failure_detector import FailureDetector
+from repro.metrics.collector import MetricsReport, analyze
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything fixed across the trials of one experiment."""
+
+    model: Union[str, VisibilityModel] = "ev"
+    scheduler: str = "timeline"
+    config: Optional[ControllerConfig] = None
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    seed: int = 0
+    check_final: bool = True
+    exhaustive_limit: int = 7
+    max_events: int = 5_000_000
+
+    def make_config(self) -> ControllerConfig:
+        config = self.config or ControllerConfig()
+        config = replace(config, scheduler=self.scheduler)
+        return config
+
+
+def run_workload(workload: Workload, setup: ExperimentSetup,
+                 trial: int = 0
+                 ) -> Tuple[RunResult, MetricsReport, Controller]:
+    """Execute one trial of ``workload`` under ``setup``.
+
+    Workloads marked ``meta["scale_failures"]`` get a calibration pass:
+    a failure-free dry run measures the model's makespan, and failure
+    times are rescaled so devices fail "at a random point during the
+    run" (§7.4) regardless of how long the model takes.
+    """
+    if workload.failure_plans and workload.meta.get("scale_failures"):
+        workload = _scale_failure_plans(workload, setup, trial)
+    return _run_once(workload, setup, trial)
+
+
+def _scale_failure_plans(workload: Workload, setup: ExperimentSetup,
+                         trial: int) -> Workload:
+    dry = replace(workload, failure_plans=[],
+                  meta={**workload.meta, "scale_failures": False})
+    dry_result, _report, _controller = _run_once(
+        replace(dry, arrivals=list(workload.arrivals),
+                streams=[list(s) for s in workload.streams]),
+        replace(setup, check_final=False), trial)
+    makespan = max(dry_result.makespan, 1.0)
+    generated_horizon = workload.meta.get(
+        "failure_horizon", workload.horizon_hint or makespan)
+    scale = makespan / max(generated_horizon, 1e-9)
+    from repro.devices.failures import FailurePlan
+    scaled = []
+    for plan in workload.failure_plans:
+        fail_at = plan.fail_at * scale
+        restart_at = None
+        if plan.restart_at is not None:
+            restart_at = fail_at + (plan.restart_at - plan.fail_at)
+        scaled.append(FailurePlan(plan.device_id, fail_at, restart_at))
+    return replace(workload, failure_plans=scaled,
+                   meta={**workload.meta, "scale_failures": False})
+
+
+def _run_once(workload: Workload, setup: ExperimentSetup,
+              trial: int = 0
+              ) -> Tuple[RunResult, MetricsReport, Controller]:
+    sim = Simulator()
+    registry = DeviceRegistry()
+    for type_name, name in workload.devices:
+        registry.create(type_name, name)
+    initial = registry.snapshot()
+
+    streams = RandomStreams(seed=setup.seed).spawn(trial)
+    driver = Driver(sim=sim, registry=registry, latency=setup.latency,
+                    streams=streams)
+    controller = make_controller(setup.model, sim, registry, driver,
+                                 setup.make_config())
+
+    injector = FailureInjector(sim, registry,
+                               plans=list(workload.failure_plans))
+    injector.arm()
+    if workload.failure_plans:
+        detector = FailureDetector(sim, registry, driver, controller)
+        detector.start()
+    else:
+        # Implicit detection still feeds the controller.
+        driver.on_timeout = controller.on_failure_detected
+
+    for routine, at in workload.arrivals:
+        controller.submit(routine, when=at)
+    _attach_streams(controller, workload.streams)
+
+    sim.run(max_events=setup.max_events)
+    result = RunResult.from_controller(controller)
+    report = analyze(result, initial, check_final=setup.check_final,
+                     exhaustive_limit=setup.exhaustive_limit)
+    return result, report, controller
+
+
+def _attach_streams(controller: Controller,
+                    streams: List[List]) -> None:
+    """Closed-loop injection: each stream submits its next routine when
+    the previous one finishes (the paper's ρ concurrent routines)."""
+    cursors = {index: 0 for index in range(len(streams))}
+    run_to_stream: Dict[int, int] = {}
+
+    def submit_next(stream_index: int) -> None:
+        cursor = cursors[stream_index]
+        if cursor >= len(streams[stream_index]):
+            return
+        cursors[stream_index] = cursor + 1
+        run = controller.submit(streams[stream_index][cursor])
+        run_to_stream[run.routine_id] = stream_index
+
+    def on_finished(run: RoutineRun) -> None:
+        stream_index = run_to_stream.get(run.routine_id)
+        if stream_index is not None:
+            submit_next(stream_index)
+
+    controller.on_routine_finished.append(on_finished)
+    for stream_index, stream in enumerate(streams):
+        if stream:
+            submit_next(stream_index)
+
+
+def run_trials(workload_factory, setup: ExperimentSetup, trials: int,
+               ) -> List[MetricsReport]:
+    """Run ``trials`` independent trials; ``workload_factory(trial)``
+    returns the (re-seeded) workload for each."""
+    reports = []
+    for trial in range(trials):
+        workload = workload_factory(trial)
+        _result, report, _controller = run_workload(workload, setup,
+                                                    trial=trial)
+        reports.append(report)
+    return reports
+
+
+def aggregate(reports: List[MetricsReport]) -> Dict[str, Any]:
+    """Pool per-trial reports into one experiment row."""
+    from repro.metrics.stats import mean
+
+    def pooled(attr: str) -> float:
+        return mean([getattr(report, attr) for report in reports])
+
+    latencies_p50 = mean([r.latency["p50"] for r in reports])
+    latencies_p95 = mean([r.latency["p95"] for r in reports])
+    final_checked = [r.final_congruent for r in reports
+                     if r.final_congruent is not None]
+    return {
+        "trials": len(reports),
+        "lat_p50": latencies_p50,
+        "lat_p95": latencies_p95,
+        "wait_p50": mean([r.wait_time["p50"] for r in reports]),
+        "temp_incong": pooled("temporary_incongruence"),
+        "parallelism": pooled("parallelism_mean"),
+        "abort_rate": pooled("abort_rate"),
+        "rollback": pooled("rollback_overhead_mean"),
+        "order_mismatch": pooled("order_mismatch"),
+        "final_incongruence": (
+            1.0 - sum(final_checked) / len(final_checked)
+            if final_checked else None),
+    }

@@ -1,0 +1,12 @@
+"""The SafeHome edge hub (architecture of Fig 11).
+
+Ties together the Routine Bank, the Routine Dispatcher (user/trigger
+invocation), the Concurrency Controller (one of the visibility models)
+and the Failure Detector.
+"""
+
+from repro.hub.failure_detector import FailureDetector
+from repro.hub.routine_bank import RoutineBank
+from repro.hub.safehome import SafeHome
+
+__all__ = ["SafeHome", "RoutineBank", "FailureDetector"]

@@ -1,0 +1,84 @@
+"""User feedback log (§2.2).
+
+When a routine aborts or a best-effort command is skipped, "the user
+receives feedback ... and she is free to either ignore or re-execute"
+— this module materializes that feedback as structured, renderable
+entries, fed from controller run records.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.controller import Controller, RoutineRun, RoutineStatus
+
+
+class FeedbackKind(enum.Enum):
+    ROUTINE_COMMITTED = "committed"
+    ROUTINE_ABORTED = "aborted"
+    COMMAND_SKIPPED = "command-skipped"
+    COMMANDS_ROLLED_BACK = "rolled-back"
+    DEVICE_FAILED = "device-failed"
+    DEVICE_RESTARTED = "device-restarted"
+
+
+@dataclass(frozen=True)
+class FeedbackEntry:
+    time: float
+    kind: FeedbackKind
+    routine: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.time:9.2f}s] {self.kind.value:16s} " \
+               f"{self.routine:20s} {self.detail}"
+
+
+class FeedbackLog:
+    """Collects user-facing feedback from a controller's run records."""
+
+    def __init__(self, controller: Controller) -> None:
+        self.controller = controller
+        controller.on_routine_finished.append(self._on_finished)
+        self.entries: List[FeedbackEntry] = []
+
+    def _on_finished(self, run: RoutineRun) -> None:
+        now = self.controller.sim.now
+        if run.status is RoutineStatus.COMMITTED:
+            skipped = [e for e in run.executions if e.skipped]
+            self.entries.append(FeedbackEntry(
+                now, FeedbackKind.ROUTINE_COMMITTED, run.name,
+                f"{len(run.executions)} commands"
+                + (f", {len(skipped)} best-effort skipped" if skipped
+                   else "")))
+            for execution in skipped:
+                self.entries.append(FeedbackEntry(
+                    now, FeedbackKind.COMMAND_SKIPPED, run.name,
+                    f"device {execution.command.device_id} unreachable "
+                    "(best-effort); you may re-execute it"))
+        else:
+            self.entries.append(FeedbackEntry(
+                now, FeedbackKind.ROUTINE_ABORTED, run.name,
+                run.abort_reason or "aborted"))
+            if run.rolled_back_commands:
+                self.entries.append(FeedbackEntry(
+                    now, FeedbackKind.COMMANDS_ROLLED_BACK, run.name,
+                    f"{run.rolled_back_commands} commands undone; "
+                    "you may re-initiate the routine"))
+
+    def record_detections(self) -> None:
+        """Fold the controller's detection events into the log."""
+        for kind, device_id, when in self.controller.detection_events:
+            feedback_kind = (FeedbackKind.DEVICE_FAILED
+                             if kind == "failure"
+                             else FeedbackKind.DEVICE_RESTARTED)
+            self.entries.append(FeedbackEntry(
+                when, feedback_kind, "-", f"device {device_id}"))
+
+    def render(self) -> str:
+        ordered = sorted(self.entries, key=lambda e: e.time)
+        return "\n".join(entry.render() for entry in ordered)
+
+    def aborts(self) -> List[FeedbackEntry]:
+        return [e for e in self.entries
+                if e.kind is FeedbackKind.ROUTINE_ABORTED]

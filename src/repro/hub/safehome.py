@@ -1,0 +1,149 @@
+"""The SafeHome facade: the public API a smart-home user programs against.
+
+Wires up the whole edge stack of Fig 11 — simulator, device registry,
+driver, concurrency controller (chosen visibility model), failure
+detector, routine bank and dispatcher — behind a small surface::
+
+    home = SafeHome(visibility="ev", scheduler="timeline")
+    window = home.add_device("window", "living-window")
+    ac = home.add_device("ac", "living-ac")
+    home.register_routine_spec({
+        "routineName": "cooling",
+        "commands": [
+            {"device": "living-window", "action": "CLOSED",
+             "durationSec": 2},
+            {"device": "living-ac", "action": "ON", "durationSec": 2},
+        ],
+    })
+    home.invoke("cooling")
+    result = home.run()
+"""
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.controller import ControllerConfig, RoutineRun, RunResult
+from repro.core.routine import Routine
+from repro.core.spec import parse_routine
+from repro.core.visibility import VisibilityModel, make_controller
+from repro.devices.device import Device
+from repro.devices.driver import Driver
+from repro.devices.failures import FailureInjector, FailurePlan
+from repro.devices.network import LatencyModel
+from repro.devices.registry import DeviceRegistry
+from repro.hub.failure_detector import FailureDetector
+from repro.hub.routine_bank import RoutineBank
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+class SafeHome:
+    """An edge hub running one visibility model over simulated devices."""
+
+    def __init__(self,
+                 visibility: Union[str, VisibilityModel] = "ev",
+                 scheduler: str = "timeline",
+                 config: Optional[ControllerConfig] = None,
+                 latency: Optional[LatencyModel] = None,
+                 seed: int = 0,
+                 detector_ping_period_s: float = 1.0) -> None:
+        self.sim = Simulator()
+        self.registry = DeviceRegistry()
+        self.streams = RandomStreams(seed=seed)
+        self.driver = Driver(
+            sim=self.sim, registry=self.registry,
+            latency=latency or LatencyModel(), streams=self.streams)
+        self.config = config or ControllerConfig()
+        self.config.scheduler = scheduler
+        self.controller = make_controller(
+            visibility, self.sim, self.registry, self.driver, self.config)
+        self.detector = FailureDetector(
+            self.sim, self.registry, self.driver, self.controller,
+            ping_period_s=detector_ping_period_s)
+        self.bank = RoutineBank()
+        self.injector = FailureInjector(self.sim, self.registry)
+        self._detector_started = False
+
+    # -- setup -----------------------------------------------------------------
+
+    def add_device(self, type_name: str, name: str = "") -> Device:
+        """Add one catalog device to the home."""
+        return self.registry.create(type_name, name)
+
+    def add_devices(self, type_name: str, count: int,
+                    prefix: str = "") -> List[Device]:
+        return self.registry.create_many(type_name, count, prefix)
+
+    def register_routine(self, routine: Routine,
+                         replace: bool = False) -> None:
+        self.bank.register(routine, replace=replace)
+
+    def register_routine_spec(self, spec: Union[str, Dict[str, Any]],
+                              replace: bool = False) -> Routine:
+        """Register a routine from its JSON spec (Fig 10 format)."""
+        routine = parse_routine(spec, self.registry)
+        self.bank.register(routine, replace=replace)
+        return routine
+
+    def plan_failure(self, device_name: str, fail_at: float,
+                     restart_at: Optional[float] = None) -> None:
+        """Script a fail-stop failure (and optional restart)."""
+        device = self.registry.by_name(device_name)
+        self.injector.add(FailurePlan(device.device_id, fail_at, restart_at))
+
+    # -- dispatch (user or trigger initiation) -------------------------------------
+
+    def invoke(self, routine_or_name: Union[str, Routine],
+               at: Optional[float] = None) -> RoutineRun:
+        """Invoke a routine now or at an absolute virtual time."""
+        if isinstance(routine_or_name, Routine):
+            routine = routine_or_name
+        else:
+            routine = self.bank.instantiate(routine_or_name)
+        return self.controller.submit(routine, when=at)
+
+    def invoke_repeating(self, name: str, start_at: float, period: float,
+                         count: int) -> List[RoutineRun]:
+        """Timed trigger: invoke ``name`` every ``period`` seconds."""
+        return [self.invoke(name, at=start_at + i * period)
+                for i in range(count)]
+
+    def cancel(self, run: RoutineRun, at: Optional[float] = None) -> None:
+        """User-initiated cancellation of an in-flight routine.
+
+        The routine aborts cleanly: executed commands are rolled back
+        per the active visibility model's rules and the user gets
+        feedback, exactly as for a failure-driven abort (§2.2).
+        """
+        if at is None:
+            self.controller.request_abort(run, "cancelled by user")
+        else:
+            self.sim.call_at(at, self.controller.request_abort, run,
+                             "cancelled by user")
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            detector: Optional[bool] = None) -> RunResult:
+        """Run the simulation to completion and return the results.
+
+        Args:
+            until: optional virtual-time bound.
+            detector: force the failure detector on/off; by default it
+                runs only when failures are scripted.
+        """
+        start_detector = detector if detector is not None \
+            else bool(self.injector.plans)
+        if start_detector and not self._detector_started:
+            self.detector.start()
+            self._detector_started = True
+        self.injector.arm()
+        self.sim.run(until=until)
+        return RunResult.from_controller(self.controller)
+
+    # -- inspection ---------------------------------------------------------------------
+
+    def state_of(self, device_name: str) -> Any:
+        return self.registry.by_name(device_name).state
+
+    def snapshot(self) -> Dict[int, Any]:
+        return self.registry.snapshot()

@@ -1,0 +1,119 @@
+"""Serialization-order reconstruction and validation (§3, §7.6).
+
+SafeHome's guarantee is the existence of an equivalent serial order of
+committed routines *and* failure/restart events.  We reconstruct one
+from the per-device access sequences the controller records, then
+validate that replaying it serially reproduces the observed end state.
+The order-mismatch metric (Fig 16c/17) compares this order with the
+submission order by normalized swap distance.
+"""
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.controller import RoutineStatus, RunResult
+from repro.errors import SafeHomeError
+from repro.metrics.congruence import effective_writes
+
+
+def reconstruct_serial_order(result: RunResult) -> List[int]:
+    """Topological order of committed routines from device precedences.
+
+    Edges come from the order in which routines completed their last
+    access on each device; ties (unrelated routines) break by commit
+    time, then routine id, which keeps the output deterministic.
+    """
+    committed = [run.routine_id for run in result.runs
+                 if run.status is RoutineStatus.COMMITTED]
+    committed_set = set(committed)
+    successors: Dict[int, Set[int]] = {rid: set() for rid in committed}
+    indegree: Dict[int, int] = {rid: 0 for rid in committed}
+    for sequence in result.device_access_order.values():
+        chain = [rid for rid in sequence if rid in committed_set]
+        for before, after in zip(chain, chain[1:]):
+            if after not in successors[before]:
+                successors[before].add(after)
+                indegree[after] += 1
+
+    finish_time = {run.routine_id: run.finish_time for run in result.runs}
+    order: List[int] = []
+    ready = sorted((rid for rid, deg in indegree.items() if deg == 0),
+                   key=lambda rid: (finish_time[rid], rid))
+    while ready:
+        rid = ready.pop(0)
+        order.append(rid)
+        for succ in sorted(successors[rid]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort(key=lambda r: (finish_time[r], r))
+    if len(order) != len(committed):
+        raise SafeHomeError(
+            "cycle in device access precedences: execution was not "
+            "serializable")
+    return order
+
+
+def place_detection_events(result: RunResult,
+                           order: List[int]) -> List[Tuple]:
+    """Interleave failure/restart events into the serial order.
+
+    Each event is placed after every committed routine whose last access
+    of the device preceded the detection, which matches EV's rule that a
+    failure after a routine's last touch serializes after the routine.
+    Returns a list of ("routine", id) / ("failure", dev, t) /
+    ("restart", dev, t) tuples.
+    """
+    positions = {rid: i for i, rid in enumerate(order)}
+    timeline: List[Tuple] = [("routine", rid) for rid in order]
+    inserts: List[Tuple[int, Tuple]] = []
+    last_access_time: Dict[Tuple[int, int], float] = {}
+    for run in result.runs:
+        if run.status is not RoutineStatus.COMMITTED:
+            continue
+        for execution in run.executions:
+            key = (execution.command.device_id, run.routine_id)
+            if execution.finished_at is not None:
+                last_access_time[key] = max(
+                    last_access_time.get(key, 0.0), execution.finished_at)
+    for kind, device_id, when in result.detection_events:
+        after = -1
+        for rid in order:
+            touched_at = last_access_time.get((device_id, rid))
+            if touched_at is not None and touched_at <= when:
+                after = max(after, positions[rid])
+        inserts.append((after, (kind, device_id, when)))
+    # Insert from the right so earlier indexes stay valid; among events
+    # sharing a position, insert later detections first so the final
+    # timeline lists them in detection order.
+    for after, event in sorted(inserts, key=lambda x: (-x[0], -x[1][2])):
+        timeline.insert(after + 1, event)
+    return timeline
+
+
+def validate_serial_order(result: RunResult,
+                          initial: Dict[int, Any],
+                          order: Optional[List[int]] = None) -> bool:
+    """Replay ``order`` serially; True iff it reproduces the end state.
+
+    Devices that are failed at the end of the run are exempted when the
+    hub holds a pending reconciliation for them (their physical state
+    will converge on restart).
+    """
+    if order is None:
+        order = reconstruct_serial_order(result)
+    writes = effective_writes(result.runs)
+    state = dict(initial)
+    for rid in order:
+        state.update(writes.get(rid, {}))
+    failed_now = {device_id
+                  for kind, device_id, _t in result.detection_events
+                  if kind == "failure"}
+    for kind, device_id, _t in result.detection_events:
+        if kind == "restart":
+            failed_now.discard(device_id)
+    for device_id, expected in state.items():
+        if device_id in failed_now:
+            continue  # frozen by failure; reconciliation applies later
+        if result.end_state.get(device_id) != expected:
+            return False
+    return True

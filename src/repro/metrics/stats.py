@@ -1,0 +1,92 @@
+"""Small statistics helpers shared by experiments and reports."""
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    fraction = rank - low
+    value = data[low] * (1 - fraction) + data[high] * fraction
+    # Clamp: interpolation may overshoot its endpoints by an ulp.
+    return min(max(value, data[low]), data[high])
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50)
+
+
+def cdf_points(values: Sequence[float],
+               points: int = 50) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    data = sorted(values)
+    if not data:
+        return []
+    n = len(data)
+    step = max(1, n // points)
+    out = [(data[i], (i + 1) / n) for i in range(0, n, step)]
+    if out[-1][0] != data[-1]:
+        out.append((data[-1], 1.0))
+    return out
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics used throughout EXPERIMENTS.md."""
+    data = list(values)
+    if not data:
+        return {"n": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                "p95": 0.0, "max": 0.0}
+    return {
+        "n": len(data),
+        "mean": mean(data),
+        "p50": percentile(data, 50),
+        "p90": percentile(data, 90),
+        "p95": percentile(data, 95),
+        "max": max(data),
+    }
+
+
+def swap_distance(order: Sequence[int], reference: Sequence[int]) -> int:
+    """Kendall-tau distance: adjacent swaps to turn ``reference`` into
+    ``order`` (the paper's "order mismatch", §7.6).
+
+    Elements present in only one sequence are ignored.
+    """
+    common = set(order) & set(reference)
+    a = [x for x in order if x in common]
+    rank = {x: i for i, x in enumerate(a)}
+    b = [rank[x] for x in reference if x in common]
+    # Count inversions in b (O(n^2); orders are small).
+    inversions = 0
+    for i in range(len(b)):
+        for j in range(i + 1, len(b)):
+            if b[i] > b[j]:
+                inversions += 1
+    return inversions
+
+
+def normalized_swap_distance(order: Sequence[int],
+                             reference: Sequence[int]) -> float:
+    """Swap distance normalized by the worst case n·(n−1)/2 → [0, 1]."""
+    common = set(order) & set(reference)
+    n = len(common)
+    if n < 2:
+        return 0.0
+    worst = n * (n - 1) / 2
+    return swap_distance(order, reference) / worst

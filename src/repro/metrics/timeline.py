@@ -1,0 +1,67 @@
+"""ASCII execution-timeline rendering (Fig 2 style).
+
+Renders per-device lanes showing which routine held each device when —
+useful in examples and when debugging scheduler placements::
+
+    coffee   |R1----|R2----|........
+    pancake  |......|R1----|R2----|R3----
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller import RunResult
+
+
+def device_occupancy(result: RunResult
+                     ) -> Dict[int, List[Tuple[float, float, str]]]:
+    """(start, end, routine_name) spans per device, from run records."""
+    names = {run.routine_id: run.name for run in result.runs}
+    spans: Dict[int, List[Tuple[float, float, str]]] = {}
+    for run in result.runs:
+        per_device: Dict[int, List[float]] = {}
+        for execution in run.executions:
+            if execution.started_at is None:
+                continue
+            end = execution.finished_at \
+                if execution.finished_at is not None else execution.started_at
+            bounds = per_device.setdefault(
+                execution.command.device_id,
+                [execution.started_at, end])
+            bounds[0] = min(bounds[0], execution.started_at)
+            bounds[1] = max(bounds[1], end)
+        for device_id, (start, end) in per_device.items():
+            spans.setdefault(device_id, []).append(
+                (start, end, names[run.routine_id]))
+    for device_spans in spans.values():
+        device_spans.sort()
+    return spans
+
+
+def render_timeline(result: RunResult,
+                    device_names: Optional[Dict[int, str]] = None,
+                    width: int = 72) -> str:
+    """Render the run as one ASCII lane per device."""
+    spans = device_occupancy(result)
+    if not spans:
+        return "(no activity)"
+    horizon = max(end for device_spans in spans.values()
+                  for (_s, end, _n) in device_spans)
+    horizon = max(horizon, 1e-9)
+    scale = width / horizon
+
+    lines = []
+    for device_id in sorted(spans):
+        label = (device_names or {}).get(device_id, f"dev{device_id}")
+        lane = [" "] * width
+        for start, end, name in spans[device_id]:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width, max(lo + 1, int(end * scale)))
+            tag = name[:hi - lo]
+            for offset in range(lo, hi):
+                lane[offset] = "-"
+            for index, char in enumerate(tag):
+                if lo + index < width:
+                    lane[lo + index] = char
+        lines.append(f"{label:>14s} |{''.join(lane)}|")
+    header = f"{'device':>14s} |{'0':<{width - 6}s}{horizon:6.1f}s|"
+    return "\n".join([header] + lines)

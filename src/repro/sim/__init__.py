@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel used by every SafeHome substrate.
+
+The kernel is deliberately small: a virtual clock, a cancellable event
+queue, and seeded random-stream helpers.  Controllers and devices are
+written as event-driven state machines on top of :class:`Simulator`.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams
+
+__all__ = ["VirtualClock", "Simulator", "Event", "EventQueue", "RandomStreams"]

@@ -1,0 +1,110 @@
+"""The discrete-event simulator driving all SafeHome experiments."""
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event executor.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.call_at(5.0, hub.tick)
+        sim.call_after(0.1, device.apply, "ON")
+        sim.run()
+
+    Event order is total: time first, then scheduling order, so two runs
+    with the same seeds produce identical traces.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = VirtualClock(start)
+        self._queue = EventQueue()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def call_at(self, when: float, callback: Callable[..., Any],
+                *args: Any, label: str = "") -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < {self.now})"
+            )
+        return self._queue.push(when, callback, args, label)
+
+    def call_after(self, delay: float, callback: Callable[..., Any],
+                   *args: Any, label: str = "") -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push(self.now + delay, callback, args, label)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (no-op on ``None``/fired)."""
+        if event is None or not event.pending:
+            return
+        event.cancel()
+        self._queue.notify_cancel()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains or a bound is hit.
+
+        Args:
+            until: stop once the next event is strictly later than this
+                time (the clock is still advanced to ``until``).
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The virtual time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    return self.now
+                event = self._queue.pop()
+                self.clock.advance_to(event.time)
+                event.fire()
+                self._processed += 1
+                if max_events is not None and self._processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+            if until is not None and until > self.now:
+                self.clock.advance_to(until)
+            return self.now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process exactly one event. Returns False when queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self.clock.advance_to(event.time)
+        event.fire()
+        self._processed += 1
+        return True

@@ -1,0 +1,93 @@
+"""Event objects and the cancellable priority queue behind the simulator."""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that events scheduled earlier at
+    the same timestamp run first (FIFO tie-break), which keeps runs
+    deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Optional[Callable[..., Any]]
+    args: tuple = field(default_factory=tuple)
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark this event so the simulator skips it."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and self.callback is not None
+
+    def fire(self) -> None:
+        if self.callback is None:
+            raise SimulationError("event has no callback")
+        callback, self.callback = self.callback, None
+        callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[..., Any],
+             args: tuple = (), label: str = "") -> Event:
+        event = Event(time=time, seq=next(self._counter),
+                      callback=callback, args=args, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Pop the earliest non-cancelled event.
+
+        Raises:
+            SimulationError: when no live event remains.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def notify_cancel(self) -> None:
+        """Account for one external :meth:`Event.cancel` call."""
+        if self._live <= 0:
+            raise SimulationError("cancel accounting underflow")
+        self._live -= 1

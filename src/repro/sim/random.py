@@ -1,0 +1,54 @@
+"""Seeded random streams.
+
+Every stochastic component (arrivals, durations, network jitter, failure
+times) draws from its own named stream so that changing one workload knob
+does not perturb unrelated randomness between runs.
+"""
+
+import random
+import zlib
+from typing import Dict
+
+
+class RandomStreams:
+    """A family of independently seeded :class:`random.Random` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the named stream."""
+        if name not in self._streams:
+            # Derive a per-stream seed that is stable across processes
+            # (crc32, unlike hash(), ignores PYTHONHASHSEED) and
+            # independent of creation order.
+            derived = zlib.crc32(name.encode("utf-8")) ^ (self.seed & 0xFFFFFFFF)
+            self._streams[name] = random.Random(derived)
+        return self._streams[name]
+
+    def spawn(self, salt: int) -> "RandomStreams":
+        """A new family for an independent trial (``salt`` = trial index)."""
+        return RandomStreams(seed=(self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+
+def positive_normal(rng: random.Random, mean: float, sigma: float,
+                    floor: float) -> float:
+    """Sample Normal(mean, sigma) truncated below at ``floor``.
+
+    The paper draws command durations from normal distributions (Table 3,
+    "ND"); physical durations cannot be negative, hence the floor.
+    """
+    value = rng.normalvariate(mean, sigma)
+    return max(floor, value)
+
+
+def zipf_weights(n: int, alpha: float) -> list[float]:
+    """Unnormalised Zipf popularity weights for ranks 1..n.
+
+    ``alpha = 0`` gives a uniform distribution; larger alpha skews access
+    towards low-rank (popular) devices, matching Table 3's α knob.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / ((rank + 1) ** alpha) for rank in range(n)]

@@ -1,0 +1,18 @@
+"""Workloads: the paper's microbenchmark, Fig 1 experiment and the three
+trace-derived scenarios (Morning / Party / Factory, §7.2)."""
+
+from repro.workloads.base import Workload
+from repro.workloads.lights import lights_workload
+from repro.workloads.micro import MicroParams, generate_microbenchmark
+from repro.workloads.scenarios import (factory_scenario, morning_scenario,
+                                       party_scenario)
+
+__all__ = [
+    "Workload",
+    "MicroParams",
+    "generate_microbenchmark",
+    "lights_workload",
+    "morning_scenario",
+    "party_scenario",
+    "factory_scenario",
+]

@@ -1,0 +1,45 @@
+"""Workload container consumed by the experiment runner."""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.routine import Routine
+from repro.devices.failures import FailurePlan
+
+
+@dataclass
+class Workload:
+    """A reproducible set of devices, routines and failures.
+
+    Routines arrive either open-loop (``arrivals``: fixed submission
+    times) or closed-loop (``streams``: each stream submits its next
+    routine when the previous one finishes — the paper's ρ concurrent
+    routines).
+    """
+
+    name: str
+    devices: List[Tuple[str, str]]              # (catalog type, name)
+    arrivals: List[Tuple[Routine, float]] = field(default_factory=list)
+    streams: List[List[Routine]] = field(default_factory=list)
+    failure_plans: List[FailurePlan] = field(default_factory=list)
+    horizon_hint: Optional[float] = None        # rough virtual run length
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError(f"workload {self.name!r} has no devices")
+        if not self.arrivals and not any(self.streams):
+            raise ValueError(f"workload {self.name!r} has no routines")
+
+    @property
+    def routine_count(self) -> int:
+        return len(self.arrivals) + sum(len(s) for s in self.streams)
+
+    def all_routines(self) -> List[Routine]:
+        routines = [routine for routine, _t in self.arrivals]
+        for stream in self.streams:
+            routines.extend(stream)
+        return routines
+
+    def device_count(self) -> int:
+        return len(self.devices)

@@ -1,0 +1,41 @@
+"""The Fig 1 workload: two conflicting group routines.
+
+R1 turns ON all lights; R2 turns them all OFF, starting ``offset``
+seconds after R1.  Under Weak Visibility, per-command network jitter
+interleaves the two write streams and the end state is frequently
+neither all-ON nor all-OFF — the paper's motivating experiment with
+TP-Link devices.
+"""
+
+from repro.core.command import Command
+from repro.core.routine import Routine
+from repro.workloads.base import Workload
+
+
+def lights_workload(n_devices: int, offset_s: float,
+                    command_duration_s: float = 0.0) -> Workload:
+    """R1 = all lights ON; R2 = all lights OFF at ``offset_s``."""
+    if n_devices <= 0:
+        raise ValueError("need at least one light")
+    devices = [("light", f"light-{i}") for i in range(n_devices)]
+    on = Routine(name="all-on", commands=[
+        Command(device_id=i, value="ON", duration=command_duration_s)
+        for i in range(n_devices)])
+    off = Routine(name="all-off", commands=[
+        Command(device_id=i, value="OFF", duration=command_duration_s)
+        for i in range(n_devices)])
+    return Workload(
+        name="lights",
+        devices=devices,
+        arrivals=[(on, 0.0), (off, offset_s)],
+        horizon_hint=offset_s + n_devices * (command_duration_s + 1.0) + 10,
+        meta={"n_devices": n_devices, "offset_s": offset_s},
+    )
+
+
+def serialized_end_states(n_devices: int) -> list:
+    """The only two serially-equivalent end states: all ON or all OFF."""
+    return [
+        {i: "ON" for i in range(n_devices)},
+        {i: "OFF" for i in range(n_devices)},
+    ]

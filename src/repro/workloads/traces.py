@@ -1,0 +1,97 @@
+"""Workload trace serialization.
+
+The paper promises to release its trace-derived benchmarks openly; this
+module defines the on-disk JSON format so workloads can be exported,
+shared and re-imported, and so users can bring their own traces.
+
+Format (one JSON object)::
+
+    {
+      "name": "morning",
+      "devices": [{"type": "light", "name": "bed1-light"}, ...],
+      "arrivals": [{"at": 12.5, "routine": {<Fig-10 routine spec>}}, ...],
+      "streams": [[{<routine spec>}, ...], ...],
+      "failures": [{"device": "bed1-light", "failAt": 100.0,
+                    "restartAt": 160.0}, ...]
+    }
+"""
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.spec import parse_routine, routine_to_spec
+from repro.devices.failures import FailurePlan
+from repro.devices.registry import DeviceRegistry
+from repro.errors import RoutineSpecError
+from repro.workloads.base import Workload
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """Serialize a workload to the trace JSON structure."""
+    registry = DeviceRegistry()
+    for type_name, name in workload.devices:
+        registry.create(type_name, name)
+    name_of = {device.device_id: device.name for device in registry}
+
+    return {
+        "name": workload.name,
+        "devices": [{"type": t, "name": n} for t, n in workload.devices],
+        "arrivals": [{"at": at,
+                      "routine": routine_to_spec(routine, registry)}
+                     for routine, at in workload.arrivals],
+        "streams": [[routine_to_spec(routine, registry)
+                     for routine in stream]
+                    for stream in workload.streams],
+        "failures": [{"device": name_of[plan.device_id],
+                      "failAt": plan.fail_at,
+                      **({"restartAt": plan.restart_at}
+                         if plan.restart_at is not None else {})}
+                     for plan in workload.failure_plans],
+        "horizonHint": workload.horizon_hint,
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> Workload:
+    """Inverse of :func:`workload_to_dict`."""
+    if not isinstance(data, dict):
+        raise RoutineSpecError("trace must be a JSON object")
+    devices = [(entry["type"], entry["name"])
+               for entry in data.get("devices", ())]
+    registry = DeviceRegistry()
+    for type_name, name in devices:
+        registry.create(type_name, name)
+
+    arrivals = [(parse_routine(entry["routine"], registry),
+                 float(entry["at"]))
+                for entry in data.get("arrivals", ())]
+    streams = [[parse_routine(spec, registry) for spec in stream]
+               for stream in data.get("streams", ())]
+    failures = []
+    for entry in data.get("failures", ()):
+        device = registry.by_name(entry["device"])
+        failures.append(FailurePlan(
+            device.device_id, float(entry["failAt"]),
+            float(entry["restartAt"]) if "restartAt" in entry else None))
+    return Workload(
+        name=data.get("name", "trace"),
+        devices=devices,
+        arrivals=arrivals,
+        streams=streams,
+        failure_plans=failures,
+        horizon_hint=data.get("horizonHint"),
+    )
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(workload_to_dict(workload),
+                                     indent=2, sort_keys=True))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise RoutineSpecError(f"invalid trace JSON in {path}: {exc}") \
+            from exc
+    return workload_from_dict(data)

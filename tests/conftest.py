@@ -1,0 +1,78 @@
+"""Shared fixtures and builders for the SafeHome test suite."""
+
+import pytest
+
+from repro.core.command import Command
+from repro.core.controller import ControllerConfig
+from repro.core.routine import Routine
+from repro.core.visibility import make_controller
+from repro.devices.driver import Driver
+from repro.devices.network import LatencyModel
+from repro.devices.registry import DeviceRegistry
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+class Home:
+    """A minimal controller-under-test harness with N plug devices."""
+
+    def __init__(self, model="ev", n_devices=4, scheduler="timeline",
+                 config=None, latency_ms=10.0, seed=0):
+        self.sim = Simulator()
+        self.registry = DeviceRegistry()
+        for i in range(n_devices):
+            self.registry.create("plug", f"plug-{i}")
+        self.driver = Driver(
+            sim=self.sim, registry=self.registry,
+            latency=LatencyModel.deterministic(latency_ms),
+            streams=RandomStreams(seed=seed))
+        self.config = config or ControllerConfig()
+        self.config.scheduler = scheduler
+        self.controller = make_controller(model, self.sim, self.registry,
+                                          self.driver, self.config)
+        # Implicit failure detection is always wired in tests.
+        self.driver.on_timeout = self.controller.on_failure_detected
+        self.initial = self.registry.snapshot()
+
+    def submit(self, routine, when=None):
+        return self.controller.submit(routine, when=when)
+
+    def run(self, until=None):
+        from repro.core.controller import RunResult
+        self.sim.run(until=until, max_events=2_000_000)
+        return RunResult.from_controller(self.controller)
+
+    def fail_device(self, device_id, at):
+        device = self.registry.get(device_id)
+        self.sim.call_at(at, device.fail)
+
+    def restart_device(self, device_id, at):
+        device = self.registry.get(device_id)
+        self.sim.call_at(at, device.restart)
+
+    def detect_failure(self, device_id, at):
+        """Failure plus immediate hub detection at ``at``."""
+        self.fail_device(device_id, at)
+        self.sim.call_at(at, self.controller.on_failure_detected,
+                         device_id)
+
+    def detect_restart(self, device_id, at):
+        self.restart_device(device_id, at)
+        self.sim.call_at(at, self.controller.on_restart_detected,
+                         device_id)
+
+
+@pytest.fixture
+def home_factory():
+    return Home
+
+
+def routine(name, steps):
+    """Build a routine from (device_id, value, duration[, must]) steps."""
+    commands = []
+    for step in steps:
+        device_id, value, duration = step[0], step[1], step[2]
+        must = step[3] if len(step) > 3 else True
+        commands.append(Command(device_id=device_id, value=value,
+                                duration=duration, must=must))
+    return Routine(name=name, commands=commands)

@@ -1,0 +1,62 @@
+"""Fast smoke tests for the ablation sweeps and the report module."""
+
+import pytest
+
+from repro.experiments.ablations import (ablate_detector_period,
+                                         ablate_estimate_error,
+                                         ablate_leniency,
+                                         ablate_network_jitter)
+from repro.experiments.report import format_table, print_table
+
+
+class TestAblationSmoke:
+    def test_leniency_rows(self):
+        rows = ablate_leniency(trials=2, leniencies=(1.0, 3.0))
+        assert [row["leniency"] for row in rows] == [1.0, 3.0]
+        assert all(0 <= row["abort_rate"] <= 1 for row in rows)
+
+    def test_estimate_error_rows(self):
+        rows = ablate_estimate_error(trials=2, errors=(0.0, 0.5))
+        assert all(row["lat_p50"] > 0 for row in rows)
+        assert all(row["stretch_mean"] >= 1.0 for row in rows)
+
+    def test_detector_period_rows(self):
+        rows = ablate_detector_period(trials=2, periods=(0.5, 2.0))
+        assert rows[0]["detection_lag_mean_s"] <= \
+            rows[1]["detection_lag_mean_s"] + 0.5
+        for row in rows:
+            assert row["detection_lag_mean_s"] >= 0.0
+
+    def test_network_jitter_rows(self):
+        rows = ablate_network_jitter(trials=6, sigmas=(0.0, 1.0))
+        assert rows[0]["incongruent_fraction"] == 0.0
+
+
+class TestReportFormatting:
+    def test_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_alignment_and_float_formatting(self):
+        rows = [{"name": "a", "value": 1.23456789},
+                {"name": "bbbb", "value": 10}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "1.235" in text  # 4 significant digits
+        assert lines[0].startswith("name")
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=("c", "a"))
+        assert "b" not in text.splitlines()[0]
+        assert text.splitlines()[0].startswith("c")
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows, columns=("a", "b"))
+        assert "x" in text
+
+    def test_print_table_returns_text(self, capsys):
+        text = print_table("title", [{"a": 1}])
+        assert "title" in text
+        assert "title" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""User-initiated routine cancellation (a SafeHome extension: the paper
+lists signal/interrupt injection as future OS-for-smart-homes work)."""
+
+import pytest
+
+from repro.core.controller import RoutineStatus
+from repro.hub.safehome import SafeHome
+from repro.metrics.congruence import final_state_serializable
+from tests.conftest import Home, routine
+
+
+def build_home(visibility="ev"):
+    home = SafeHome(visibility=visibility)
+    home.add_device("plug", "a")
+    home.add_device("plug", "b")
+    home.register_routine_spec({
+        "routineName": "slow",
+        "commands": [
+            {"device": "a", "action": "ON", "durationSec": 5},
+            {"device": "b", "action": "ON", "durationSec": 60},
+        ],
+    })
+    return home
+
+
+class TestCancellation:
+    def test_cancel_rolls_back(self):
+        home = build_home()
+        run = home.invoke("slow")
+        home.cancel(run, at=10.0)
+        result = home.run()
+        assert run.status is RoutineStatus.ABORTED
+        assert run.abort_reason == "cancelled by user"
+        # Device a's ON was rolled back.
+        assert result.end_state[0] == "OFF"
+
+    def test_cancel_before_start_under_gsv(self):
+        home = build_home(visibility="gsv")
+        first = home.invoke("slow")
+        queued = home.invoke("slow")
+        home.cancel(queued, at=1.0)  # cancelled while still waiting
+        home.run()
+        assert first.status is RoutineStatus.COMMITTED
+        assert queued.status is RoutineStatus.ABORTED
+        assert queued.start_time is None or \
+            queued.rolled_back_commands == 0
+
+    def test_cancel_after_commit_is_noop(self):
+        home = build_home()
+        run = home.invoke("slow")
+        home.cancel(run, at=1000.0)
+        home.run()
+        assert run.status is RoutineStatus.COMMITTED
+
+    def test_cancel_releases_locks_for_waiters(self):
+        home = Home(model="ev", n_devices=2)
+        hog = home.submit(routine("hog", [(0, "H", 100.0)]), when=0.0)
+        waiter = home.submit(routine("waiter", [(0, "W", 1.0)]),
+                             when=1.0)
+        home.sim.call_at(5.0, home.controller.request_abort, hog,
+                         "cancelled by user")
+        result = home.run()
+        assert hog.status is RoutineStatus.ABORTED
+        assert waiter.status is RoutineStatus.COMMITTED
+        assert waiter.finish_time < 120.0
+        assert result.end_state[0] == "W"
+        assert final_state_serializable(result, home.initial)

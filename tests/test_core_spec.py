@@ -1,0 +1,94 @@
+"""Tests for the JSON routine spec (Fig 10)."""
+
+import json
+
+import pytest
+
+from repro.core.spec import parse_routine, routine_to_spec
+from repro.devices.registry import DeviceRegistry
+from repro.errors import RoutineSpecError
+
+
+@pytest.fixture
+def registry():
+    reg = DeviceRegistry()
+    reg.create("coffee_maker", "coffee")
+    reg.create("toaster", "toaster")
+    return reg
+
+
+BREAKFAST = {
+    "routineName": "Prepare Breakfast",
+    "commands": [
+        {"device": "coffee", "action": "ON", "durationSec": 240,
+         "priority": "MUST"},
+        {"device": "toaster", "action": "ON", "durationSec": 120,
+         "priority": "BEST_EFFORT"},
+    ],
+}
+
+
+class TestParse:
+    def test_parse_dict(self, registry):
+        routine = parse_routine(BREAKFAST, registry)
+        assert routine.name == "Prepare Breakfast"
+        assert len(routine.commands) == 2
+        assert routine.commands[0].must is True
+        assert routine.commands[1].must is False
+        assert routine.commands[0].duration == 240.0
+
+    def test_parse_json_string(self, registry):
+        routine = parse_routine(json.dumps(BREAKFAST), registry)
+        assert routine.commands[0].value == "ON"
+
+    def test_device_by_id(self, registry):
+        spec = {"routineName": "r",
+                "commands": [{"device": 1, "action": "ON"}]}
+        routine = parse_routine(spec, registry)
+        assert routine.commands[0].device_id == 1
+
+    def test_read_command(self, registry):
+        spec = {"routineName": "r",
+                "commands": [{"device": "coffee", "read": True}]}
+        routine = parse_routine(spec, registry)
+        assert routine.commands[0].is_read
+
+    def test_undo_handler(self, registry):
+        spec = {"routineName": "r",
+                "commands": [{"device": "coffee", "action": "ON",
+                              "undoable": False, "undoAction": "OFF"}]}
+        command = parse_routine(spec, registry).commands[0]
+        assert command.undoable is False
+        assert command.undo_value == "OFF"
+
+    @pytest.mark.parametrize("broken", [
+        "not json {",
+        {"commands": [{"device": "coffee", "action": "ON"}]},
+        {"routineName": "r"},
+        {"routineName": "r", "commands": []},
+        {"routineName": "r", "commands": ["x"]},
+        {"routineName": "r", "commands": [{"action": "ON"}]},
+        {"routineName": "r", "commands": [{"device": "coffee"}]},
+        {"routineName": "r", "commands": [
+            {"device": "coffee", "action": "ON", "priority": "MEDIUM"}]},
+        {"routineName": "r", "commands": [
+            {"device": "coffee", "action": "ON", "durationSec": -3}]},
+        ["not", "an", "object"],
+    ])
+    def test_malformed_specs_rejected(self, registry, broken):
+        with pytest.raises(RoutineSpecError):
+            parse_routine(broken, registry)
+
+
+class TestRoundTrip:
+    def test_round_trip(self, registry):
+        routine = parse_routine(BREAKFAST, registry)
+        spec = routine_to_spec(routine, registry)
+        again = parse_routine(spec, registry)
+        assert again.name == routine.name
+        assert [c.device_id for c in again.commands] == \
+            [c.device_id for c in routine.commands]
+        assert [c.must for c in again.commands] == \
+            [c.must for c in routine.commands]
+        assert [c.duration for c in again.commands] == \
+            [c.duration for c in routine.commands]

@@ -1,0 +1,163 @@
+"""Tests for EV failure serialization (§3) and lineage rollback (§4.3).
+
+Covers the four EV cases: untouched device (arbitrary order), fail+restart
+before first touch (serialize before), failure after last touch
+(serialize after), and everything else (abort)."""
+
+import pytest
+
+from repro.core.controller import RoutineStatus
+from tests.conftest import Home, routine
+
+
+class TestEVFailureCases:
+    def test_case1_unrelated_device(self):
+        home = Home(model="ev", n_devices=3)
+        r = home.submit(routine("r", [(0, "ON", 5.0)]), when=0.0)
+        home.detect_failure(2, at=1.0)
+        home.run()
+        assert r.status is RoutineStatus.COMMITTED
+
+    def test_case2_fail_and_restart_before_first_touch(self):
+        home = Home(model="ev", n_devices=2)
+        r = home.submit(routine("r", [(0, "ON", 10.0), (1, "ON", 1.0)]),
+                        when=0.0)
+        home.detect_failure(1, at=1.0)
+        home.detect_restart(1, at=5.0)
+        home.run()
+        assert r.status is RoutineStatus.COMMITTED
+
+    def test_case3_failure_after_last_touch_serializes_after(self):
+        """Unlike PSV, EV commits even if the device is still down at the
+        finish point (the cooling example, §3)."""
+        home = Home(model="ev", n_devices=2)
+        cooling = home.submit(
+            routine("cooling", [(0, "CLOSED", 1.0), (1, "ON", 10.0)]),
+            when=0.0)
+        home.detect_failure(0, at=5.0)  # window fails after its command
+        result = home.run()
+        assert cooling.status is RoutineStatus.COMMITTED
+        assert result.end_state[1] == "ON"
+
+    def test_case4_failure_mid_touch_aborts(self):
+        home = Home(model="ev", n_devices=2)
+        r = home.submit(routine("r", [(0, "ON", 10.0), (1, "ON", 1.0)]),
+                        when=0.0)
+        home.detect_failure(0, at=3.0)  # during device 0's command
+        home.run()
+        assert r.status is RoutineStatus.ABORTED
+
+    def test_still_failed_at_first_touch_aborts(self):
+        home = Home(model="ev", n_devices=2)
+        r = home.submit(routine("r", [(0, "ON", 5.0), (1, "ON", 1.0)]),
+                        when=0.0)
+        home.detect_failure(1, at=1.0)  # before r touches device 1
+        home.run()
+        assert r.status is RoutineStatus.ABORTED
+
+    def test_best_effort_touches_do_not_abort(self):
+        home = Home(model="ev", n_devices=2)
+        r = home.submit(routine("r", [(0, "ON", 5.0), (1, "ON", 1.0,
+                                                       False)]),
+                        when=0.0)
+        home.detect_failure(1, at=1.0)
+        home.run()
+        assert r.status is RoutineStatus.COMMITTED
+        assert r.executions[-1].skipped
+
+    def test_mid_touch_failure_with_only_best_effort_commands(self):
+        home = Home(model="ev", n_devices=2)
+        r = home.submit(routine("r", [(0, "ON", 10.0, False),
+                                      (1, "ON", 1.0)]), when=0.0)
+        home.detect_failure(0, at=3.0)
+        home.run()
+        # Device 0 only has best-effort commands: no abort.
+        assert r.status is RoutineStatus.COMMITTED
+
+
+class TestEVRollback:
+    def test_abort_rolls_back_applied_writes(self):
+        home = Home(model="ev", n_devices=2)
+        r = home.submit(routine("r", [(0, "ON", 1.0), (1, "ON", 5.0)]),
+                        when=0.0)
+        home.detect_failure(1, at=2.0)  # mid device-1 touch -> abort
+        result = home.run()
+        assert r.status is RoutineStatus.ABORTED
+        assert result.end_state[0] == "OFF"  # rolled back
+        assert r.rolled_back_commands >= 1
+
+    def test_abort_does_not_roll_back_overwritten_device(self):
+        """If a successor already wrote the device, the aborting routine
+        must NOT roll it back (§4.3's 'last Acquired by Rj' case)."""
+        home = Home(model="ev", n_devices=3)
+        r1 = home.submit(
+            routine("r1", [(0, "A1", 1.0), (1, "LONG", 8.0),
+                           (2, "X", 5.0)]), when=0.0)
+        r2 = home.submit(routine("r2", [(0, "A2", 1.0)]), when=0.2)
+        # r1 aborts while r2 (post-leased device 0) has already written.
+        home.detect_failure(2, at=7.0)
+        result = home.run()
+        assert r1.status is RoutineStatus.ABORTED
+        assert r2.status is RoutineStatus.COMMITTED
+        assert result.end_state[0] == "A2"  # r2's write survives
+
+    def test_rollback_target_is_previous_lineage_value(self):
+        home = Home(model="ev", n_devices=2)
+        r1 = home.submit(routine("r1", [(0, "V1", 1.0)]), when=0.0)
+        r2 = home.submit(routine("r2", [(0, "V2", 1.0), (1, "Y", 6.0)]),
+                         when=0.5)
+        home.detect_failure(1, at=4.0)  # aborts r2 mid-touch of device 1
+        result = home.run()
+        assert r1.status is RoutineStatus.COMMITTED
+        assert r2.status is RoutineStatus.ABORTED
+        # Device 0 rolls back to r1's committed value, not to OFF.
+        assert result.end_state[0] == "V1"
+
+    def test_waiting_routines_proceed_after_abort(self):
+        home = Home(model="ev", n_devices=2)
+        r1 = home.submit(routine("r1", [(0, "A", 3.0), (1, "B", 6.0)]),
+                         when=0.0)
+        r2 = home.submit(routine("r2", [(0, "C", 1.0)]), when=0.1)
+        home.detect_failure(1, at=4.0)  # aborts r1 during device-1 touch
+        result = home.run()
+        assert r1.status is RoutineStatus.ABORTED
+        assert r2.status is RoutineStatus.COMMITTED
+        assert result.end_state[0] == "C"
+
+    def test_reconcile_on_restart_after_abort(self):
+        home = Home(model="ev", n_devices=2)
+        r = home.submit(routine("r", [(0, "ON", 2.0), (1, "ON", 6.0)]),
+                        when=0.0)
+        home.detect_failure(1, at=4.0)   # abort; device 1 stuck ON
+        home.detect_restart(1, at=20.0)
+        result = home.run()
+        assert r.status is RoutineStatus.ABORTED
+        assert result.end_state == {0: "OFF", 1: "OFF"}
+
+
+class TestEVSerializationWithFailures:
+    def test_order_contains_failure_after_routine(self):
+        from repro.metrics.serialization import (place_detection_events,
+                                                 reconstruct_serial_order)
+        home = Home(model="ev", n_devices=2)
+        cooling = home.submit(
+            routine("cooling", [(0, "CLOSED", 1.0), (1, "ON", 10.0)]),
+            when=0.0)
+        home.detect_failure(0, at=5.0)
+        result = home.run()
+        order = reconstruct_serial_order(result)
+        timeline = place_detection_events(result, order)
+        kinds = [entry[0] for entry in timeline]
+        routine_pos = timeline.index(("routine", cooling.routine_id))
+        failure_pos = kinds.index("failure")
+        assert failure_pos > routine_pos
+
+    def test_validate_serial_order_with_failures(self):
+        from repro.metrics.serialization import validate_serial_order
+        home = Home(model="ev", n_devices=3)
+        home.submit(routine("a", [(0, "ON", 1.0), (1, "ON", 4.0)]),
+                    when=0.0)
+        home.submit(routine("b", [(2, "ON", 1.0)]), when=0.1)
+        home.detect_failure(0, at=3.0)
+        result = home.run()
+        assert validate_serial_order(result, home.initial)

@@ -1,0 +1,110 @@
+"""Smoke tests for the experiment runner and figure drivers (reduced
+trial counts — the benchmarks run the real sweeps)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.report import format_table
+from repro.experiments.runner import (ExperimentSetup, aggregate,
+                                      run_workload)
+from repro.workloads.micro import MicroParams, generate_microbenchmark
+from repro.workloads.scenarios import morning_scenario
+
+
+class TestRunner:
+    def test_open_loop_arrivals(self):
+        workload = morning_scenario(seed=1)
+        setup = ExperimentSetup(model="ev", check_final=False)
+        result, report, _controller = run_workload(workload, setup)
+        assert report.routines == 29
+        assert report.committed == 29
+
+    def test_closed_loop_streams(self):
+        params = MicroParams(routines=12, concurrency=3, devices=6,
+                             long_routine_pct=0, short_duration_s=2.0)
+        workload = generate_microbenchmark(params, seed=1)
+        setup = ExperimentSetup(model="ev", check_final=False)
+        result, report, _controller = run_workload(workload, setup)
+        assert report.committed == 12
+        # Closed loop: at most 3 routines ever run concurrently.
+        from repro.metrics.collector import parallelism_samples
+        assert max(parallelism_samples(result)) <= 3
+
+    def test_failure_scaling_pass(self):
+        params = MicroParams(routines=10, concurrency=2, devices=6,
+                             failed_device_pct=50, long_routine_pct=0,
+                             short_duration_s=2.0)
+        workload = generate_microbenchmark(params, seed=2)
+        setup = ExperimentSetup(model="gsv", check_final=False)
+        result, report, _controller = run_workload(workload, setup)
+        # Failures land inside the measured makespan.
+        failure_times = [t for _k, _d, t in result.detection_events]
+        assert failure_times
+        assert min(failure_times) <= result.makespan
+
+    def test_deterministic_given_seed_and_trial(self):
+        params = MicroParams(routines=8, concurrency=2, devices=5,
+                             long_routine_pct=0, short_duration_s=2.0)
+        def run_once():
+            workload = generate_microbenchmark(params, seed=3)
+            setup = ExperimentSetup(model="ev", seed=11,
+                                    check_final=False)
+            result, report, _c = run_workload(workload, setup, trial=4)
+            return ([(r.routine_id, r.status.value,
+                      round(r.finish_time, 6)) for r in result.runs],
+                    result.end_state)
+        assert run_once() == run_once()
+
+    def test_aggregate(self):
+        params = MicroParams(routines=6, concurrency=2, devices=5,
+                             long_routine_pct=0, short_duration_s=1.0)
+        setup = ExperimentSetup(model="ev", check_final=False)
+        reports = []
+        for trial in range(3):
+            workload = generate_microbenchmark(params, seed=trial)
+            _r, report, _c = run_workload(workload, setup, trial=trial)
+            reports.append(report)
+        pooled = aggregate(reports)
+        assert pooled["trials"] == 3
+        assert pooled["lat_p50"] > 0
+
+
+class TestFigureDrivers:
+    def test_fig01(self):
+        rows = figures.fig01_weak_visibility(device_counts=(2, 6),
+                                             offsets=(0.0,), trials=5)
+        assert len(rows) == 2
+        small, big = rows
+        assert big["incongruent_fraction"] >= \
+            small["incongruent_fraction"]
+
+    def test_fig02_matches_paper_units(self):
+        rows = {row["model"]: row for row in figures.fig02_example()}
+        assert rows["gsv"]["makespan_units"] == pytest.approx(8, abs=0.3)
+        assert rows["psv"]["makespan_units"] == pytest.approx(5, abs=0.3)
+        assert rows["ev"]["makespan_units"] == pytest.approx(3, abs=0.3)
+        assert all(row["final_serializable"] for row in rows.values())
+
+    def test_fig12b_wv_incongruent_ev_congruent(self):
+        rows = {row["model"]: row for row in
+                figures.fig12b_final_incongruence(runs=8, models=("wv",
+                                                                  "ev"))}
+        assert rows["ev"]["final_incongruence"] == 0.0
+        assert rows["wv"]["final_incongruence"] >= 0.0
+
+    def test_fig14_rows_shape(self):
+        rows = figures.fig14_schedulers(trials=1, concurrencies=(2,))
+        assert {row["scheduler"] for row in rows} == \
+            {"fcfs", "jit", "timeline"}
+
+    def test_fig15d_insertion_under_budget(self):
+        rows = figures.fig15d_insertion_time(routine_sizes=(2, 10),
+                                             n_routines=12)
+        for row in rows:
+            # The paper reports ~1 ms on a Raspberry Pi; allow slack on
+            # arbitrary CI machines.
+            assert row["mean_insert_ms"] < 50.0
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        assert "a" in text and "2.5" in text

@@ -1,0 +1,110 @@
+"""Cross-model integration tests on realistic workloads."""
+
+import pytest
+
+from repro.core.controller import RoutineStatus
+from repro.experiments.runner import ExperimentSetup, run_workload
+from repro.metrics.congruence import final_state_serializable
+from repro.metrics.serialization import (reconstruct_serial_order,
+                                         validate_serial_order)
+from repro.workloads.micro import MicroParams, generate_microbenchmark
+from repro.workloads.scenarios import (factory_scenario, morning_scenario,
+                                       party_scenario)
+
+
+SERIALIZING = ("ev", "psv", "gsv")
+
+
+class TestScenarioSerializability:
+    @pytest.mark.parametrize("factory", [morning_scenario, party_scenario])
+    @pytest.mark.parametrize("model", SERIALIZING)
+    def test_scenarios_serializable(self, factory, model):
+        workload = factory(seed=11)
+        setup = ExperimentSetup(model=model, check_final=False)
+        result, _report, _c = run_workload(workload, setup)
+        assert all(run.done for run in result.runs)
+        initial = {index: None for index in range(len(workload.devices))}
+        # Build the true initial snapshot from a fresh registry.
+        from repro.devices.registry import DeviceRegistry
+        registry = DeviceRegistry()
+        for type_name, name in workload.devices:
+            registry.create(type_name, name)
+        initial = registry.snapshot()
+        order = reconstruct_serial_order(result)
+        assert validate_serial_order(result, initial, order)
+
+    @pytest.mark.parametrize("scheduler", ["fcfs", "jit", "timeline"])
+    def test_factory_ev_serializable_all_schedulers(self, scheduler):
+        workload = factory_scenario(seed=5, stages=12,
+                                    routines_per_stage=2)
+        setup = ExperimentSetup(model="ev", scheduler=scheduler,
+                                check_final=False)
+        result, _report, _c = run_workload(workload, setup)
+        assert all(run.status is RoutineStatus.COMMITTED
+                   for run in result.runs)
+        from repro.devices.registry import DeviceRegistry
+        registry = DeviceRegistry()
+        for type_name, name in workload.devices:
+            registry.create(type_name, name)
+        order = reconstruct_serial_order(result)
+        assert validate_serial_order(result, registry.snapshot(), order)
+
+
+class TestModelOrdering:
+    """The qualitative Table 1 relations hold on the microbenchmark."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        params = MicroParams(routines=30, concurrency=4, devices=10,
+                             long_duration_s=120.0, short_duration_s=5.0)
+        out = {}
+        for model in ("wv", "ev", "psv", "gsv"):
+            latencies, waits, parallelism = [], [], []
+            for trial in range(4):
+                workload = generate_microbenchmark(params,
+                                                   seed=300 + trial)
+                setup = ExperimentSetup(model=model, seed=trial,
+                                        check_final=False)
+                _result, report, _c = run_workload(workload, setup,
+                                                   trial=trial)
+                latencies.append(report.latency["p50"])
+                waits.append(report.wait_time["p50"])
+                parallelism.append(report.parallelism_mean)
+            out[model] = {
+                "lat": sum(latencies) / len(latencies),
+                "wait": sum(waits) / len(waits),
+                "par": sum(parallelism) / len(parallelism),
+            }
+        return out
+
+    def test_latency_ordering(self, reports):
+        assert reports["wv"]["lat"] <= reports["ev"]["lat"] * 1.1
+        assert reports["ev"]["lat"] < reports["psv"]["lat"]
+        assert reports["psv"]["lat"] < reports["gsv"]["lat"]
+
+    def test_wait_time_ordering(self, reports):
+        # Table 1: WV/EV low wait; GSV high.
+        assert reports["ev"]["wait"] < reports["gsv"]["wait"]
+        assert reports["wv"]["wait"] <= reports["ev"]["wait"] + 1e-9
+
+    def test_parallelism_ordering(self, reports):
+        assert reports["gsv"]["par"] <= 1.05
+        assert reports["ev"]["par"] > 2 * reports["gsv"]["par"]
+
+
+class TestMixedFailureWorkload:
+    def test_all_models_terminate_and_account(self):
+        params = MicroParams(routines=24, concurrency=4, devices=10,
+                             failed_device_pct=30.0,
+                             long_duration_s=60.0, short_duration_s=4.0,
+                             must_pct=80.0, restart_after_s=30.0)
+        for model in ("wv", "ev", "psv", "gsv", "sgsv"):
+            workload = generate_microbenchmark(params, seed=9)
+            setup = ExperimentSetup(model=model, seed=9,
+                                    check_final=False)
+            result, report, _c = run_workload(workload, setup)
+            assert all(run.done for run in result.runs)
+            assert report.committed + report.aborted == 24
+            if model != "wv":
+                assert validate_serial_order(
+                    result, {i: "OFF" for i in range(10)})

@@ -1,0 +1,135 @@
+"""Tests for statistics helpers and congruence checkers."""
+
+import pytest
+
+from repro.metrics.congruence import (end_state_of_order,
+                                      serial_end_state_exists)
+from repro.metrics.stats import (cdf_points, mean, median,
+                                 normalized_swap_distance, percentile,
+                                 summarize, swap_distance)
+
+
+class TestStats:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_percentile_bounds(self):
+        data = list(range(1, 11))
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 10
+        assert percentile(data, 50) == 5.5
+
+    def test_percentile_single(self):
+        assert percentile([7.0], 90) == 7.0
+
+    def test_percentile_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_cdf_points(self):
+        points = cdf_points([1, 2, 3, 4], points=4)
+        assert points[0] == (1, 0.25)
+        assert points[-1] == (4, 1.0)
+        assert cdf_points([]) == []
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["n"] == 4
+        assert summary["mean"] == 2.5
+        assert summary["max"] == 4.0
+
+    def test_swap_distance_identity(self):
+        assert swap_distance([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_swap_distance_reversal(self):
+        assert swap_distance([3, 2, 1], [1, 2, 3]) == 3
+
+    def test_swap_distance_ignores_missing(self):
+        assert swap_distance([1, 9, 2], [2, 1]) == 1
+
+    def test_normalized_swap_distance(self):
+        assert normalized_swap_distance([3, 2, 1], [1, 2, 3]) == 1.0
+        assert normalized_swap_distance([1, 2, 3], [1, 2, 3]) == 0.0
+        assert normalized_swap_distance([1], [1]) == 0.0
+
+
+class TestSerialEquivalence:
+    """The final-incongruence checker, both implementations."""
+
+    def test_end_state_of_order(self):
+        writes = {1: {0: "ON"}, 2: {0: "OFF", 1: "ON"}}
+        assert end_state_of_order([1, 2], writes, {0: "X", 1: "X"}) == \
+            {0: "OFF", 1: "ON"}
+        assert end_state_of_order([2, 1], writes, {0: "X", 1: "X"}) == \
+            {0: "ON", 1: "ON"}
+
+    def test_exhaustive_finds_order(self):
+        writes = {1: {0: "ON"}, 2: {0: "OFF"}}
+        initial = {0: "X"}
+        assert serial_end_state_exists({0: "ON"}, writes, initial)
+        assert serial_end_state_exists({0: "OFF"}, writes, initial)
+        assert not serial_end_state_exists({0: "X"}, writes, initial)
+
+    def test_detects_mixed_state(self):
+        # all-ON vs all-OFF on two devices: a mixed end state is not
+        # serially equivalent.
+        writes = {1: {0: "ON", 1: "ON"}, 2: {0: "OFF", 1: "OFF"}}
+        initial = {0: "OFF", 1: "OFF"}
+        assert not serial_end_state_exists({0: "ON", 1: "OFF"},
+                                           writes, initial)
+        assert serial_end_state_exists({0: "ON", 1: "ON"},
+                                       writes, initial)
+
+    def test_untouched_device_must_keep_initial(self):
+        writes = {1: {0: "ON"}}
+        assert not serial_end_state_exists({0: "ON", 1: "CHANGED"},
+                                           writes, {0: "OFF", 1: "KEEP"})
+        assert serial_end_state_exists({0: "ON", 1: "KEEP"},
+                                       writes, {0: "OFF", 1: "KEEP"})
+
+    def test_large_n_uses_last_writer_search(self):
+        # 12 routines -> 12! permutations is infeasible; the designated
+        # last-writer search must still answer correctly.
+        writes = {i: {0: f"V{i}"} for i in range(12)}
+        initial = {0: "X"}
+        assert serial_end_state_exists({0: "V7"}, writes, initial,
+                                       exhaustive_limit=4)
+        assert not serial_end_state_exists({0: "nope"}, writes, initial,
+                                           exhaustive_limit=4)
+
+    def test_last_writer_search_detects_cross_device_conflict(self):
+        # R1 last on device 0 requires R2 before R1; R2 last on device 1
+        # requires R1 before R2 -> cycle -> not serializable.
+        writes = {1: {0: "W1", 1: "X1"}, 2: {0: "X2", 1: "W2"}}
+        initial = {0: "I", 1: "I"}
+        observed = {0: "W1", 1: "W2"}
+        assert serial_end_state_exists(observed, writes, initial,
+                                       exhaustive_limit=0) == \
+            serial_end_state_exists(observed, writes, initial,
+                                    exhaustive_limit=10)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_implementations_agree_on_random_cases(self, n):
+        import random
+        rng = random.Random(42)
+        for _ in range(60):
+            writes = {
+                rid: {dev: rng.choice("AB")
+                      for dev in rng.sample(range(3),
+                                            rng.randint(1, 3))}
+                for rid in range(n)
+            }
+            initial = {dev: "I" for dev in range(3)}
+            observed = {dev: rng.choice(["A", "B", "I"])
+                        for dev in range(3)}
+            brute = serial_end_state_exists(observed, writes, initial,
+                                            exhaustive_limit=n)
+            clever = serial_end_state_exists(observed, writes, initial,
+                                             exhaustive_limit=0)
+            assert brute == clever, (writes, observed)

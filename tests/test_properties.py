@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis): the heart of the correctness
+argument.
+
+* EV/PSV/GSV end states are always serially equivalent, for random
+  workloads, schedulers, leasing configurations and failure injections.
+* Lineage invariants 1-4 hold throughout execution (paranoid mode).
+* Every routine terminates (no deadlock/livelock).
+* The serialization order derived from device access sequences is
+  acyclic and replays to the observed end state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controller import ControllerConfig, RoutineStatus
+from repro.metrics.congruence import final_state_serializable
+from repro.metrics.serialization import (reconstruct_serial_order,
+                                         validate_serial_order)
+from tests.conftest import Home, routine
+
+
+@st.composite
+def workload_strategy(draw, max_routines=6, max_devices=4,
+                      max_commands=3):
+    n_devices = draw(st.integers(2, max_devices))
+    n_routines = draw(st.integers(2, max_routines))
+    routines = []
+    for index in range(n_routines):
+        n_commands = draw(st.integers(1, min(max_commands, n_devices)))
+        devices = draw(st.permutations(range(n_devices)))
+        steps = []
+        for command_index in range(n_commands):
+            device = devices[command_index]
+            value = draw(st.sampled_from(["ON", "OFF", "V1", "V2"]))
+            duration = draw(st.sampled_from([0.0, 0.5, 2.0, 10.0]))
+            steps.append((device, value, duration))
+        at = draw(st.sampled_from([0.0, 0.1, 0.5, 1.0, 5.0]))
+        routines.append((routine(f"r{index}", steps), at))
+    return n_devices, routines
+
+
+SERIALIZABLE_MODELS = ["ev", "psv", "gsv", "sgsv"]
+
+
+class TestSerializability:
+    @settings(max_examples=40, deadline=None)
+    @given(data=workload_strategy(),
+           scheduler=st.sampled_from(["fcfs", "jit", "timeline"]),
+           pre=st.booleans(), post=st.booleans())
+    def test_ev_end_state_serializable(self, data, scheduler, pre, post):
+        n_devices, arrivals = data
+        config = ControllerConfig(pre_lease=pre, post_lease=post,
+                                  paranoid=True)
+        home = Home(model="ev", scheduler=scheduler, n_devices=n_devices,
+                    config=config)
+        for r, at in arrivals:
+            home.submit(r, when=at)
+        result = home.run()
+        assert all(run.status is RoutineStatus.COMMITTED
+                   for run in result.runs)
+        assert final_state_serializable(result, home.initial,
+                                        exhaustive_limit=6)
+        order = reconstruct_serial_order(result)
+        assert validate_serial_order(result, home.initial, order)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=workload_strategy(),
+           model=st.sampled_from(["psv", "gsv"]))
+    def test_strict_models_serializable(self, data, model):
+        n_devices, arrivals = data
+        home = Home(model=model, n_devices=n_devices)
+        for r, at in arrivals:
+            home.submit(r, when=at)
+        result = home.run()
+        assert final_state_serializable(result, home.initial,
+                                        exhaustive_limit=6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=workload_strategy(),
+           model=st.sampled_from(SERIALIZABLE_MODELS),
+           failed_device=st.integers(0, 3),
+           fail_at=st.sampled_from([0.5, 2.0, 8.0]),
+           restart_after=st.sampled_from([None, 1.0, 10.0]))
+    def test_serializable_under_failures(self, data, model, failed_device,
+                                         fail_at, restart_after):
+        n_devices, arrivals = data
+        failed_device %= n_devices
+        home = Home(model=model, n_devices=n_devices,
+                    config=ControllerConfig(paranoid=True))
+        for r, at in arrivals:
+            home.submit(r, when=at)
+        home.detect_failure(failed_device, at=fail_at)
+        if restart_after is not None:
+            home.detect_restart(failed_device, at=fail_at + restart_after)
+        result = home.run()
+        # Everything terminates, one way or the other.
+        assert all(run.done for run in result.runs)
+        # Committed routines plus failure/restart events replay to the
+        # observed end state.
+        assert validate_serial_order(result, home.initial)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=workload_strategy(max_routines=5))
+    def test_ev_matches_gsv_end_state_up_to_serial_order(self, data):
+        """EV's end state equals SOME serial order — in particular, the
+        set of serializable end states always contains GSV's."""
+        n_devices, arrivals = data
+        ev = Home(model="ev", n_devices=n_devices)
+        for r, at in arrivals:
+            ev.submit(r, when=at)
+        ev_result = ev.run()
+        assert final_state_serializable(ev_result, ev.initial,
+                                        exhaustive_limit=5)
+
+
+class TestTermination:
+    @settings(max_examples=25, deadline=None)
+    @given(data=workload_strategy(max_routines=8, max_devices=3),
+           scheduler=st.sampled_from(["fcfs", "jit", "timeline"]))
+    def test_no_deadlock_high_contention(self, data, scheduler):
+        n_devices, arrivals = data
+        home = Home(model="ev", scheduler=scheduler, n_devices=n_devices)
+        for r, at in arrivals:
+            home.submit(r, when=at)
+        result = home.run()
+        assert all(run.done for run in result.runs)
+
+
+class TestTemporaryIncongruenceGuarantee:
+    @settings(max_examples=20, deadline=None)
+    @given(data=workload_strategy())
+    def test_gsv_never_temporarily_incongruent(self, data):
+        from repro.metrics.congruence import temporary_incongruence
+        n_devices, arrivals = data
+        home = Home(model="gsv", n_devices=n_devices)
+        for r, at in arrivals:
+            home.submit(r, when=at)
+        result = home.run()
+        assert temporary_incongruence(result) == 0.0

@@ -1,0 +1,126 @@
+"""Regression tests for bugs found during development.
+
+Each test encodes a concrete interleaving that once broke
+serializability; they must stay green forever.
+"""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, RoutineStatus
+from repro.metrics.congruence import final_state_serializable
+from repro.metrics.serialization import (reconstruct_serial_order,
+                                         validate_serial_order)
+from tests.conftest import Home, routine
+
+
+class TestCompactionPrecedenceLeak:
+    """Commit compaction (Fig 7) removed a still-active routine's
+    lock-access; a later JiT pre-lease then contradicted the erased
+    order, producing a cyclic (non-serializable) execution."""
+
+    def test_direct_compaction_leak(self):
+        home = Home(model="ev", scheduler="jit", n_devices=4,
+                    config=ControllerConfig(paranoid=True))
+        # r0 writes dev2 then queues on dev0 behind pre-leasing shorts.
+        home.submit(routine("r0", [(2, "V02", 0.0), (0, "V00", 0.0)]),
+                    when=0.0)
+        for index in (1, 2):
+            home.submit(routine(f"s{index}", [(0, f"V{index}0", 0.0)]),
+                        when=0.0)
+        # r3 arrives later: dev0 (pre-lease before r0) + dev2 — its dev2
+        # access must be ordered after r0 even though r5's commit
+        # compacted r0's dev2 entry away.
+        home.submit(routine("r3", [(0, "V30", 0.0), (1, "V31", 0.0),
+                                   (2, "V32", 0.0)]), when=0.0)
+        home.submit(routine("s4", [(0, "V40", 0.0)]), when=0.0)
+        home.submit(routine("r5", [(2, "V52", 0.0)]), when=0.0)
+        result = home.run()
+        assert all(run.status is RoutineStatus.COMMITTED
+                   for run in result.runs)
+        order = reconstruct_serial_order(result)  # must be acyclic
+        assert validate_serial_order(result, home.initial, order)
+
+    def test_transitive_leak_through_committed_routine(self):
+        """The subtler variant: the constraint flowed through a
+        *committed* middleman (r0 < r4 on dev2; r4 commits; r1 then
+        placed after r4's committed dev1 state but pre-leased before r0
+        on dev0)."""
+        home = Home(model="ev", scheduler="jit", n_devices=4,
+                    config=ControllerConfig(paranoid=True))
+        home.submit(routine("r0", [(2, "A", 0.0), (0, "B", 0.0),
+                                   (3, "C", 0.0)]), when=0.0)
+        home.submit(routine("r1", [(0, "D", 0.0), (1, "E", 0.0)]),
+                    when=0.1)
+        home.submit(routine("r2", [(0, "F", 0.0)]), when=0.0)
+        home.submit(routine("r3", [(0, "G", 0.0)]), when=0.0)
+        home.submit(routine("r4", [(1, "H", 0.0), (2, "I", 0.0)]),
+                    when=0.0)
+        home.submit(routine("r5", [(0, "J", 0.5)]), when=0.0)
+        result = home.run()
+        order = reconstruct_serial_order(result)
+        assert validate_serial_order(result, home.initial, order)
+
+    def test_constraints_cleared_when_routine_finishes(self):
+        """compacted_before entries must not leak after their routine
+        finishes (they would progressively forbid all pre-leases)."""
+        home = Home(model="ev", scheduler="jit", n_devices=2)
+        home.submit(routine("a", [(0, "A", 0.5), (1, "B", 1.0)]),
+                    when=0.0)
+        home.submit(routine("b", [(0, "C", 0.5)]), when=0.1)
+        home.run()
+        hidden = home.controller.compacted_before
+        assert all(not members for members in hidden.values())
+
+
+class TestRollbackRace:
+    """Rollback writes used to fly through the driver with their own
+    network delay, racing the next conflicting routine's first command;
+    the successor then captured a stale prior state and 'restored' the
+    aborted value on its own abort."""
+
+    def test_psv_rollback_ordered_before_successor(self):
+        home = Home(model="psv", n_devices=3)
+        r0 = home.submit(routine("r0", [(0, "ON", 0.0), (1, "ON", 0.5)]),
+                         when=0.0)
+        others = [home.submit(routine(f"r{i}", [(0, "ON", 0.0)]),
+                              when=0.0) for i in range(1, 5)]
+        r5 = home.submit(routine("r5", [(1, "ON", 0.0)]), when=0.0)
+        home.detect_failure(0, at=0.5)
+        result = home.run()
+        assert validate_serial_order(result, home.initial)
+
+    def test_successor_prior_state_sees_rollback(self):
+        home = Home(model="gsv", n_devices=2)
+        bad = home.submit(routine("bad", [(0, "DIRTY", 0.5),
+                                          (1, "ON", 5.0)]), when=0.0)
+        follow = home.submit(routine("follow", [(0, "CLEAN", 0.5)]),
+                             when=0.1)
+        home.detect_failure(1, at=2.0)  # aborts bad mid device-1 touch
+        result = home.run()
+        assert bad.status is RoutineStatus.ABORTED
+        assert follow.status is RoutineStatus.COMMITTED
+        # follow's captured prior is the rolled-back OFF, never DIRTY.
+        assert follow.prior_states[0] == "OFF"
+        assert result.end_state[0] == "CLEAN"
+
+
+class TestRevocationPostLeaseInteraction:
+    """With post-leasing ablated, locks are held to routine finish;
+    duration-based revocation deadlines then fired spuriously and
+    aborted healthy routines."""
+
+    def test_no_spurious_revocation_with_post_lease_off(self):
+        config = ControllerConfig(pre_lease=True, post_lease=False,
+                                  paranoid=True)
+        home = Home(model="ev", scheduler="jit", n_devices=3,
+                    config=config)
+        home.submit(routine("r0", [(0, "A", 0.0), (1, "B", 0.0),
+                                   (2, "C", 0.0)]), when=0.1)
+        home.submit(routine("r1", [(0, "D", 0.0)]), when=0.0)
+        home.submit(routine("r2", [(2, "E", 0.0), (1, "F", 0.0)]),
+                    when=0.1)
+        home.submit(routine("r3", [(1, "G", 2.0)]), when=0.1)
+        result = home.run()
+        assert all(run.status is RoutineStatus.COMMITTED
+                   for run in result.runs)
+        assert final_state_serializable(result, home.initial)

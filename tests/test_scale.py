@@ -1,0 +1,87 @@
+"""Scale and stress tests: SafeHome at hundreds of routines.
+
+The paper targets homes (tens of devices) and factories (hundreds);
+these tests confirm the controller stays correct and tractable well
+past the evaluation sizes.
+"""
+
+import time
+
+import pytest
+
+from repro.core.controller import RoutineStatus
+from repro.experiments.runner import ExperimentSetup, run_workload
+from repro.metrics.serialization import (reconstruct_serial_order,
+                                         validate_serial_order)
+from repro.workloads.micro import MicroParams, generate_microbenchmark
+
+
+class TestScale:
+    @pytest.mark.parametrize("scheduler", ["fcfs", "jit", "timeline"])
+    def test_300_routines_serializable(self, scheduler):
+        params = MicroParams(routines=300, concurrency=12, devices=25,
+                             long_routine_pct=5, long_duration_s=120.0,
+                             short_duration_s=3.0)
+        workload = generate_microbenchmark(params, seed=77)
+        setup = ExperimentSetup(model="ev", scheduler=scheduler,
+                                seed=77, check_final=False)
+        started = time.perf_counter()
+        result, report, _c = run_workload(workload, setup)
+        elapsed = time.perf_counter() - started
+        assert report.committed == 300
+        assert elapsed < 60.0, f"{scheduler} took {elapsed:.1f}s"
+        order = reconstruct_serial_order(result)
+        assert len(order) == 300
+        assert validate_serial_order(
+            result, {i: "OFF" for i in range(25)}, order)
+
+    def test_high_contention_single_device(self):
+        """100 routines hammering 2 devices: the worst case for the
+        wait machinery; everything must still commit in lineage order."""
+        params = MicroParams(routines=100, concurrency=10, devices=2,
+                             commands_per_routine=1.0,
+                             long_routine_pct=0, short_duration_s=1.0)
+        workload = generate_microbenchmark(params, seed=78)
+        setup = ExperimentSetup(model="ev", scheduler="timeline",
+                                seed=78, check_final=False)
+        result, report, _c = run_workload(workload, setup)
+        assert report.committed == 100
+        assert validate_serial_order(result, {0: "OFF", 1: "OFF"})
+
+    def test_wide_factory(self):
+        from repro.workloads.scenarios import factory_scenario
+        workload = factory_scenario(seed=79, stages=80,
+                                    routines_per_stage=2)
+        setup = ExperimentSetup(model="ev", check_final=False)
+        result, report, _c = run_workload(workload, setup)
+        assert report.committed == 160
+        assert report.parallelism_mean > 20
+
+
+class TestDetectionEventPlacement:
+    def test_failure_before_restart_in_timeline(self):
+        from repro.metrics.serialization import place_detection_events
+        from tests.conftest import Home, routine
+
+        home = Home(model="ev", n_devices=2)
+        home.submit(routine("a", [(0, "ON", 1.0), (1, "ON", 6.0)]),
+                    when=0.0)
+        home.detect_failure(0, at=3.0)
+        home.detect_restart(0, at=4.0)
+        result = home.run()
+        order = reconstruct_serial_order(result)
+        timeline = place_detection_events(result, order)
+        kinds = [entry[0] for entry in timeline]
+        assert kinds.index("failure") < kinds.index("restart")
+
+    def test_event_for_untouched_device_placed_anywhere_valid(self):
+        from repro.metrics.serialization import place_detection_events
+        from tests.conftest import Home, routine
+
+        home = Home(model="ev", n_devices=3)
+        home.submit(routine("a", [(0, "ON", 1.0)]), when=0.0)
+        home.detect_failure(2, at=0.5)
+        result = home.run()
+        timeline = place_detection_events(
+            result, reconstruct_serial_order(result))
+        assert ("failure", 2, 0.5) in timeline

@@ -1,0 +1,73 @@
+"""Scheduler-independence properties.
+
+The scheduler decides *where* a routine lands in the serialization
+order, never *whether* the result is serializable — and on workloads
+with no conflicts at all, every scheduler must produce the identical
+outcome.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controller import RoutineStatus
+from repro.metrics.congruence import final_state_serializable
+from tests.conftest import Home, routine
+
+SCHEDULERS = ("fcfs", "jit", "timeline")
+
+
+class TestConflictFreeEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(durations=st.lists(st.sampled_from([0.5, 2.0, 10.0]),
+                              min_size=2, max_size=5),
+           offsets=st.lists(st.sampled_from([0.0, 0.5, 3.0]),
+                            min_size=2, max_size=5))
+    def test_disjoint_routines_identical_across_schedulers(
+            self, durations, offsets):
+        n = min(len(durations), len(offsets))
+        outcomes = []
+        for scheduler in SCHEDULERS:
+            home = Home(model="ev", scheduler=scheduler, n_devices=n)
+            runs = [home.submit(
+                routine(f"r{i}", [(i, f"V{i}", durations[i])]),
+                when=offsets[i]) for i in range(n)]
+            result = home.run()
+            outcomes.append((
+                tuple(round(r.finish_time, 6) for r in runs),
+                tuple(sorted(result.end_state.items())),
+            ))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_all_schedulers_same_end_state_on_conflicts(self):
+        """With conflicts the *orders* may differ but each scheduler's
+        end state must be serially equivalent."""
+        plan = [
+            ("a", [(0, "A0", 2.0), (1, "A1", 8.0)], 0.0),
+            ("b", [(0, "B0", 2.0)], 0.5),
+            ("c", [(1, "C1", 2.0), (2, "C2", 2.0)], 1.0),
+            ("d", [(2, "D2", 6.0), (0, "D0", 2.0)], 1.5),
+        ]
+        for scheduler in SCHEDULERS:
+            home = Home(model="ev", scheduler=scheduler, n_devices=3)
+            for name, steps, at in plan:
+                home.submit(routine(name, steps), when=at)
+            result = home.run()
+            assert all(r.status is RoutineStatus.COMMITTED
+                       for r in result.runs)
+            assert final_state_serializable(result, home.initial)
+
+
+class TestSchedulerMonotonicity:
+    def test_timeline_never_slower_than_fcfs_on_pipeline_case(self):
+        """A short routine arriving behind a long lock-holder: TL's
+        pre-lease makes it strictly faster than FCFS's queueing."""
+
+        def short_latency(scheduler):
+            home = Home(model="ev", scheduler=scheduler, n_devices=2)
+            home.submit(routine("long", [(0, "L", 120.0),
+                                         (1, "L", 2.0)]), when=0.0)
+            short = home.submit(routine("short", [(1, "S", 2.0)]),
+                                when=0.5)
+            home.run()
+            return short.latency
+
+        assert short_latency("timeline") < short_latency("fcfs") / 5

@@ -1,0 +1,74 @@
+"""Tests for seeded random streams."""
+
+from repro.sim.random import RandomStreams, positive_normal, zipf_weights
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(seed=42).stream("x")
+        b = RandomStreams(seed=42).stream("x")
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_different_streams_differ(self):
+        streams = RandomStreams(seed=42)
+        a = streams.stream("a")
+        b = streams.stream("b")
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(seed=1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_independent(self):
+        one = RandomStreams(seed=7)
+        one.stream("first")
+        value_one = one.stream("second").random()
+        two = RandomStreams(seed=7)
+        value_two = two.stream("second").random()
+        assert value_one == value_two
+
+    def test_spawn_gives_independent_family(self):
+        base = RandomStreams(seed=3)
+        t0 = base.spawn(0).stream("w").random()
+        t1 = base.spawn(1).stream("w").random()
+        assert t0 != t1
+
+    def test_spawn_deterministic(self):
+        assert RandomStreams(seed=3).spawn(5).seed == \
+            RandomStreams(seed=3).spawn(5).seed
+
+
+class TestPositiveNormal:
+    def test_respects_floor(self):
+        rng = RandomStreams(seed=0).stream("n")
+        for _ in range(200):
+            assert positive_normal(rng, 1.0, 5.0, floor=0.5) >= 0.5
+
+    def test_roughly_centered(self):
+        rng = RandomStreams(seed=0).stream("n")
+        samples = [positive_normal(rng, 100.0, 10.0, floor=0.0)
+                   for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert 95.0 < mean < 105.0
+
+
+class TestZipfWeights:
+    def test_uniform_at_zero_alpha(self):
+        weights = zipf_weights(5, 0.0)
+        assert weights == [1.0] * 5
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_skew_increases_with_alpha(self):
+        mild = zipf_weights(10, 0.1)
+        steep = zipf_weights(10, 2.0)
+        assert steep[0] / steep[-1] > mild[0] / mild[-1]
+
+    def test_rejects_empty(self):
+        import pytest
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)

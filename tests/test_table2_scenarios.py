@@ -1,0 +1,173 @@
+"""Executable specification of Table 2: every example scenario from the
+paper, run end-to-end against the corresponding SafeHome feature."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, RoutineStatus
+from tests.conftest import Home, routine
+
+WINDOW, AC = 0, 1
+
+
+class TestCoolingAtomicity:
+    """cooling = {window:CLOSE; AC:ON} — partial execution wastes energy
+    or overheats the home; atomicity rolls back."""
+
+    def test_ac_failure_rolls_back_window(self):
+        home = Home(model="ev", n_devices=2)
+        home.registry.get(AC).fail()
+        cooling = home.submit(routine("cooling", [
+            (WINDOW, "CLOSED", 1.0), (AC, "ON", 1.0)]))
+        result = home.run()
+        assert cooling.status is RoutineStatus.ABORTED
+        # No window-closed-with-AC-off end state: the window reopens.
+        assert result.end_state[WINDOW] == "OFF"  # initial plug state
+
+    def test_complete_run_reaches_goal(self):
+        home = Home(model="ev", n_devices=2)
+        cooling = home.submit(routine("cooling", [
+            (WINDOW, "CLOSED", 1.0), (AC, "ON", 1.0)]))
+        result = home.run()
+        assert cooling.status is RoutineStatus.COMMITTED
+        assert result.end_state == {WINDOW: "CLOSED", AC: "ON"}
+
+
+class TestMakeCoffeeMutualExclusion:
+    """make-coffee must not be interrupted by another user's invocation
+    of the same routine (long running + mutually exclusive access)."""
+
+    def test_two_users_coffee_not_interleaved(self):
+        home = Home(model="ev", n_devices=1)
+        brew = [(0, "BREWING", 240.0), (0, "OFF", 1.0)]
+        first = home.submit(routine("coffee-1", brew), when=0.0)
+        second = home.submit(routine("coffee-2", brew), when=60.0)
+        result = home.run()
+        # The second brew starts only after the first one's OFF.
+        assert second.start_time >= first.finish_time - 1.0
+        log = result.device_write_logs[0]
+        values = [value for _t, value, _s in log]
+        assert values == ["BREWING", "OFF", "BREWING", "OFF"]
+
+
+class TestGSVForAmperage:
+    """Low-amperage home: dishwasher and dryer must not run together,
+    even though they touch disjoint devices — that is GSV's job."""
+
+    def test_gsv_serializes_disjoint_power_hogs(self):
+        home = Home(model="gsv", n_devices=2)
+        dish = home.submit(routine("dishwash", [(0, "ON", 2400.0),
+                                                (0, "OFF", 1.0)]),
+                           when=0.0)
+        dryer = home.submit(routine("dryer", [(1, "ON", 1200.0),
+                                              (1, "OFF", 1.0)]),
+                            when=0.0)
+        home.run()
+        overlap = min(dish.finish_time, dryer.finish_time) - \
+            max(dish.start_time, dryer.start_time)
+        assert overlap <= 0.0
+
+    def test_psv_would_run_them_together(self):
+        home = Home(model="psv", n_devices=2)
+        dish = home.submit(routine("dishwash", [(0, "ON", 2400.0)]),
+                           when=0.0)
+        dryer = home.submit(routine("dryer", [(1, "ON", 1200.0)]),
+                            when=0.0)
+        home.run()
+        overlap = min(dish.finish_time, dryer.finish_time) - \
+            max(dish.start_time, dryer.start_time)
+        assert overlap > 0.0
+
+
+class TestBreakfastPipelining:
+    """Two users invoke breakfast simultaneously: EV pipelines, PSV/GSV
+    serialize (§2.1)."""
+
+    BREAKFAST = [(0, "ON", 240.0), (0, "OFF", 1.0),
+                 (1, "ON", 300.0), (1, "OFF", 1.0)]
+
+    def makespan(self, model):
+        home = Home(model=model, n_devices=2)
+        home.submit(routine("b1", self.BREAKFAST), when=0.0)
+        home.submit(routine("b2", self.BREAKFAST), when=0.0)
+        result = home.run()
+        return max(r.finish_time for r in result.runs)
+
+    def test_ev_pipelines_psv_serializes(self):
+        assert self.makespan("ev") < self.makespan("psv") - 100.0
+
+    def test_both_users_get_breakfast(self):
+        home = Home(model="ev", n_devices=2)
+        b1 = home.submit(routine("b1", self.BREAKFAST), when=0.0)
+        b2 = home.submit(routine("b2", self.BREAKFAST), when=0.0)
+        home.run()
+        assert b1.status is RoutineStatus.COMMITTED
+        assert b2.status is RoutineStatus.COMMITTED
+
+
+class TestLeaveHomeMustBestEffort:
+    """leave-home = {lights:OFF (best-effort); door:LOCK (must)}."""
+
+    LIGHTS, DOOR = 0, 1
+
+    def test_door_locks_despite_dead_light(self):
+        home = Home(model="ev", n_devices=2)
+        home.registry.get(self.LIGHTS).fail()
+        leave = home.submit(routine("leave-home", [
+            (self.LIGHTS, "OFF", 1.0, False), (self.DOOR, "LOCKED", 1.0)]))
+        result = home.run()
+        assert leave.status is RoutineStatus.COMMITTED
+        assert result.end_state[self.DOOR] == "LOCKED"
+        assert leave.executions[0].skipped  # feedback about the light
+
+    def test_dead_door_aborts_routine(self):
+        home = Home(model="ev", n_devices=2)
+        home.registry.get(self.DOOR).fail()
+        leave = home.submit(routine("leave-home", [
+            (self.LIGHTS, "OFF", 1.0, False), (self.DOOR, "LOCKED", 1.0)]))
+        result = home.run()
+        assert leave.status is RoutineStatus.ABORTED
+
+
+class TestManufacturingPipelineSGSV:
+    """k-stage pipeline: any failure stops everything — Strong GSV."""
+
+    def test_any_stage_failure_stops_running_routine(self):
+        home = Home(model="sgsv", n_devices=4)
+        stage1 = home.submit(routine("stage1", [(0, "RUN", 30.0)]),
+                             when=0.0)
+        stage2 = home.submit(routine("stage2", [(1, "RUN", 30.0)]),
+                             when=0.0)
+        home.detect_failure(3, at=5.0)  # an unrelated stage's device
+        home.run()
+        assert stage1.status is RoutineStatus.ABORTED
+        # stage2 was queued behind stage1 and runs afterwards.
+        assert stage2.status is RoutineStatus.COMMITTED
+
+
+class TestCoolingFailureSerialization:
+    """The cooling routine under each model's failure rule (Table 2's
+    last four rows). The window fails right after it was closed."""
+
+    def submit_and_fail(self, model, restart_at=None):
+        home = Home(model=model, n_devices=2)
+        cooling = home.submit(routine("cooling", [
+            (WINDOW, "CLOSED", 2.0), (AC, "ON", 20.0)]), when=0.0)
+        home.detect_failure(WINDOW, at=10.0)
+        if restart_at is not None:
+            home.detect_restart(WINDOW, at=restart_at)
+        home.run()
+        return cooling
+
+    def test_gsv_always_aborts(self):
+        assert self.submit_and_fail("gsv").status is RoutineStatus.ABORTED
+
+    def test_psv_aborts_if_still_failed_at_finish(self):
+        assert self.submit_and_fail("psv").status is RoutineStatus.ABORTED
+
+    def test_psv_completes_if_recovered_by_finish(self):
+        cooling = self.submit_and_fail("psv", restart_at=15.0)
+        assert cooling.status is RoutineStatus.COMMITTED
+
+    def test_ev_completes_failure_serialized_after(self):
+        assert self.submit_and_fail("ev").status is \
+            RoutineStatus.COMMITTED

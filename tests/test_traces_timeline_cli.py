@@ -1,0 +1,130 @@
+"""Tests for trace serialization, timeline rendering and the CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import RoutineSpecError
+from repro.metrics.timeline import device_occupancy, render_timeline
+from repro.workloads.micro import MicroParams, generate_microbenchmark
+from repro.workloads.scenarios import morning_scenario, party_scenario
+from repro.workloads.traces import (load_workload, save_workload,
+                                    workload_from_dict, workload_to_dict)
+from tests.conftest import Home, routine
+
+
+class TestTraces:
+    def test_round_trip_scenario(self, tmp_path):
+        original = morning_scenario(seed=4)
+        path = tmp_path / "morning.json"
+        save_workload(original, path)
+        loaded = load_workload(path)
+        assert loaded.name == original.name
+        assert loaded.devices == original.devices
+        assert loaded.routine_count == original.routine_count
+        for (r1, t1), (r2, t2) in zip(original.arrivals, loaded.arrivals):
+            assert r1.name == r2.name
+            assert t1 == t2
+            assert [c.device_id for c in r1.commands] == \
+                [c.device_id for c in r2.commands]
+            assert [c.must for c in r1.commands] == \
+                [c.must for c in r2.commands]
+
+    def test_round_trip_streams_and_failures(self, tmp_path):
+        params = MicroParams(routines=8, concurrency=2, devices=5,
+                             failed_device_pct=40.0, long_routine_pct=0,
+                             short_duration_s=2.0)
+        original = generate_microbenchmark(params, seed=1)
+        path = tmp_path / "micro.json"
+        save_workload(original, path)
+        loaded = load_workload(path)
+        assert len(loaded.streams) == 2
+        assert loaded.routine_count == 8
+        assert len(loaded.failure_plans) == len(original.failure_plans)
+        for p1, p2 in zip(original.failure_plans, loaded.failure_plans):
+            assert (p1.device_id, p1.fail_at, p1.restart_at) == \
+                (p2.device_id, p2.fail_at, p2.restart_at)
+
+    def test_trace_is_plain_json(self, tmp_path):
+        path = tmp_path / "party.json"
+        save_workload(party_scenario(seed=1), path)
+        data = json.loads(path.read_text())
+        assert data["name"] == "party"
+        assert isinstance(data["devices"], list)
+
+    def test_loaded_trace_runs(self, tmp_path):
+        from repro.experiments.runner import ExperimentSetup, run_workload
+        path = tmp_path / "party.json"
+        save_workload(party_scenario(seed=1), path)
+        workload = load_workload(path)
+        _result, report, _c = run_workload(
+            workload, ExperimentSetup(model="ev", check_final=False))
+        assert report.committed == 12
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(RoutineSpecError):
+            load_workload(path)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(RoutineSpecError):
+            workload_from_dict(["nope"])
+
+
+class TestTimelineRendering:
+    def run_small(self):
+        home = Home(model="ev", n_devices=2)
+        home.submit(routine("alpha", [(0, "ON", 5.0)]), when=0.0)
+        home.submit(routine("beta", [(1, "ON", 5.0), (0, "OFF", 2.0)]),
+                    when=0.0)
+        return home.run()
+
+    def test_device_occupancy_spans(self):
+        result = self.run_small()
+        spans = device_occupancy(result)
+        assert set(spans) == {0, 1}
+        names_on_dev0 = [name for (_s, _e, name) in spans[0]]
+        assert names_on_dev0 == ["alpha", "beta"]
+
+    def test_render_contains_lanes(self):
+        result = self.run_small()
+        text = render_timeline(result, {0: "plug-0", 1: "plug-1"})
+        assert "plug-0" in text and "plug-1" in text
+        assert "alpha"[:3] in text
+
+    def test_render_empty(self):
+        from repro.core.controller import RunResult
+        empty = RunResult(model_name="ev", runs=[], end_state={},
+                          makespan=0.0, device_write_logs={},
+                          detection_events=[], device_access_order={})
+        assert render_timeline(empty) == "(no activity)"
+
+
+class TestCLI:
+    def test_figures_unknown_name(self, capsys):
+        from repro.cli import main
+        assert main(["figures", "fig99"]) == 2
+
+    def test_scenario_command(self, capsys):
+        from repro.cli import main
+        assert main(["scenario", "party", "--model", "wv"]) == 0
+        out = capsys.readouterr().out
+        assert "party under wv" in out
+
+    def test_scenario_unknown(self):
+        from repro.cli import main
+        assert main(["scenario", "beach-day"]) == 2
+
+    def test_export_and_run_trace(self, tmp_path, capsys):
+        from repro.cli import main
+        path = str(tmp_path / "trace.json")
+        assert main(["export-trace", "party", path]) == 0
+        assert main(["run-trace", path, "--model", "ev"]) == 0
+        out = capsys.readouterr().out
+        assert "party under ev" in out
+
+    def test_fig02_command(self, capsys):
+        from repro.cli import main
+        assert main(["figures", "fig02"]) == 0
+        assert "makespan_units" in capsys.readouterr().out

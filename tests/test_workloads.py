@@ -1,0 +1,187 @@
+"""Tests for workload generators: microbenchmark, lights, scenarios."""
+
+import pytest
+
+from repro.workloads.base import Workload
+from repro.workloads.lights import lights_workload, serialized_end_states
+from repro.workloads.micro import (MicroParams, _sample_devices,
+                                   generate_microbenchmark)
+from repro.workloads.scenarios import (factory_scenario, morning_scenario,
+                                       party_scenario)
+from repro.sim.random import RandomStreams
+
+
+class TestMicroParams:
+    def test_defaults_match_table3(self):
+        params = MicroParams()
+        assert params.routines == 100
+        assert params.concurrency == 4
+        assert params.commands_per_routine == 3.0
+        assert params.zipf_alpha == 0.05
+        assert params.long_routine_pct == 10.0
+        assert params.long_duration_s == 1200.0
+        assert params.short_duration_s == 10.0
+        assert params.must_pct == 100.0
+        assert params.failed_device_pct == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"routines": 0}, {"concurrency": 0},
+        {"must_pct": 120.0}, {"failed_device_pct": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroParams(**kwargs)
+
+
+class TestMicrobenchmark:
+    def test_deterministic_per_seed(self):
+        a = generate_microbenchmark(MicroParams(routines=10), seed=5)
+        b = generate_microbenchmark(MicroParams(routines=10), seed=5)
+        for ra, rb in zip(a.all_routines(), b.all_routines()):
+            assert [c.device_id for c in ra.commands] == \
+                [c.device_id for c in rb.commands]
+            assert [c.duration for c in ra.commands] == \
+                [c.duration for c in rb.commands]
+
+    def test_different_seeds_differ(self):
+        a = generate_microbenchmark(MicroParams(routines=10), seed=5)
+        b = generate_microbenchmark(MicroParams(routines=10), seed=6)
+        durations_a = [c.duration for r in a.all_routines()
+                       for c in r.commands]
+        durations_b = [c.duration for r in b.all_routines()
+                       for c in r.commands]
+        assert durations_a != durations_b
+
+    def test_stream_distribution(self):
+        workload = generate_microbenchmark(
+            MicroParams(routines=10, concurrency=4), seed=0)
+        assert len(workload.streams) == 4
+        assert sum(len(s) for s in workload.streams) == 10
+
+    def test_long_routine_percentage_roughly_respected(self):
+        params = MicroParams(routines=300, long_routine_pct=20.0,
+                             long_duration_s=600.0)
+        workload = generate_microbenchmark(params, seed=1)
+        long_count = sum(r.is_long for r in workload.all_routines())
+        assert 30 <= long_count <= 90  # 20% of 300 = 60 +/- slack
+
+    def test_must_percentage(self):
+        params = MicroParams(routines=100, must_pct=0.0)
+        workload = generate_microbenchmark(params, seed=1)
+        assert all(not c.must for r in workload.all_routines()
+                   for c in r.commands)
+
+    def test_failed_devices_fraction(self):
+        params = MicroParams(routines=10, devices=20,
+                             failed_device_pct=25.0)
+        workload = generate_microbenchmark(params, seed=1)
+        assert len(workload.failure_plans) == 5
+        assert workload.meta["scale_failures"]
+
+    def test_devices_within_range(self):
+        params = MicroParams(routines=50, devices=7)
+        workload = generate_microbenchmark(params, seed=2)
+        for r in workload.all_routines():
+            assert all(0 <= c.device_id < 7 for c in r.commands)
+            # sampling without replacement: no duplicate devices
+            ids = [c.device_id for c in r.commands]
+            assert len(ids) == len(set(ids))
+
+    def test_zipf_skew_changes_popularity(self):
+        flat = MicroParams(routines=200, zipf_alpha=0.0)
+        skew = MicroParams(routines=200, zipf_alpha=2.0)
+        def device0_share(params):
+            workload = generate_microbenchmark(params, seed=3)
+            touches = [c.device_id for r in workload.all_routines()
+                       for c in r.commands]
+            return touches.count(0) / len(touches)
+        assert device0_share(skew) > device0_share(flat) * 2
+
+    def test_sample_devices_without_replacement(self):
+        rng = RandomStreams(seed=0).stream("s")
+        for _ in range(50):
+            chosen = _sample_devices(rng, 5, 10, alpha=1.0)
+            assert len(set(chosen)) == 5
+
+
+class TestLightsWorkload:
+    def test_structure(self):
+        workload = lights_workload(5, offset_s=0.5)
+        assert workload.device_count() == 5
+        assert workload.routine_count == 2
+        on, off = [r for r, _t in workload.arrivals]
+        assert len(on.commands) == 5
+        assert {c.value for c in on.commands} == {"ON"}
+        assert workload.arrivals[1][1] == 0.5
+
+    def test_serialized_end_states(self):
+        states = serialized_end_states(2)
+        assert {0: "ON", 1: "ON"} in states
+        assert {0: "OFF", 1: "OFF"} in states
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ValueError):
+            lights_workload(0, 0.0)
+
+
+class TestScenarios:
+    def test_morning_shape(self):
+        workload = morning_scenario(seed=1)
+        assert workload.device_count() == 31
+        assert workload.routine_count == 29
+        users = {r.user for r, _t in workload.arrivals}
+        assert len(users) == 4
+
+    def test_morning_constraints_wake_before_cook(self):
+        workload = morning_scenario(seed=2)
+        times = {r.name: t for r, t in workload.arrivals}
+        for user in ("alice", "bob", "carol", "dave"):
+            assert times[f"{user}-wake-up"] < \
+                times[f"{user}-cook-breakfast"]
+
+    def test_party_has_one_long_routine(self):
+        workload = party_scenario(seed=1)
+        assert workload.routine_count == 12
+        long_routines = [r for r, _t in workload.arrivals if r.is_long]
+        assert any(r.name == "party-atmosphere" for r in long_routines)
+        atmosphere_at = [t for r, t in workload.arrivals
+                         if r.name == "party-atmosphere"][0]
+        assert atmosphere_at == 0.0
+
+    def test_factory_shape(self):
+        workload = factory_scenario(seed=1, stages=10,
+                                    routines_per_stage=2)
+        assert len(workload.streams) == 10
+        assert workload.routine_count == 20
+        # 2 local per stage + 9 shared + 5 global
+        assert workload.device_count() == 10 * 2 + 9 + 5
+
+    def test_factory_routines_touch_own_locality(self):
+        workload = factory_scenario(seed=3, stages=10,
+                                    routines_per_stage=2)
+        local_count = 10 * 2
+        shared_count = 9
+        for stage, stream in enumerate(workload.streams):
+            for r in stream:
+                for c in r.commands:
+                    if c.device_id < local_count:
+                        assert c.device_id // 2 == stage
+                    elif c.device_id < local_count + shared_count:
+                        boundary = c.device_id - local_count
+                        assert boundary in (stage - 1, stage)
+
+    def test_scenarios_deterministic(self):
+        a = morning_scenario(seed=9)
+        b = morning_scenario(seed=9)
+        assert [(r.name, t) for r, t in a.arrivals] == \
+            [(r.name, t) for r, t in b.arrivals]
+
+
+class TestWorkloadValidation:
+    def test_rejects_empty_devices(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", devices=[], arrivals=[])
+
+    def test_rejects_no_routines(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", devices=[("plug", "p")])

@@ -1,0 +1,147 @@
+"""Behavioral tests for Weak Visibility and (Strong) GSV."""
+
+import pytest
+
+from repro.core.controller import RoutineStatus
+from tests.conftest import Home, routine
+
+
+class TestWeakVisibility:
+    def test_runs_immediately_no_isolation(self):
+        home = Home(model="wv", n_devices=3)
+        on = routine("on", [(0, "ON", 1.0), (1, "ON", 1.0), (2, "ON", 1.0)])
+        # A faster OFF routine starts mid-way and overtakes ON's frontier:
+        # devices behind the frontier end OFF, ahead of it end ON.
+        off = routine("off", [(0, "OFF", 0.2), (1, "OFF", 0.2),
+                              (2, "OFF", 0.2)])
+        home.submit(on, when=0.0)
+        home.submit(off, when=1.5)
+        result = home.run()
+        assert all(r.status is RoutineStatus.COMMITTED for r in result.runs)
+        assert result.end_state == {0: "OFF", 1: "OFF", 2: "ON"}
+
+    def test_skips_failed_devices_silently(self):
+        home = Home(model="wv", n_devices=2)
+        home.registry.get(0).fail()
+        r = routine("r", [(0, "ON", 1.0), (1, "ON", 1.0)])
+        home.submit(r)
+        result = home.run()
+        run = result.runs[0]
+        assert run.status is RoutineStatus.COMMITTED
+        assert run.executions[0].skipped
+        assert result.end_state == {0: "OFF", 1: "ON"}
+
+    def test_no_wait_time(self):
+        home = Home(model="wv", n_devices=1)
+        a = routine("a", [(0, "ON", 5.0)])
+        b = routine("b", [(0, "OFF", 5.0)])
+        home.submit(a, when=0.0)
+        home.submit(b, when=1.0)
+        result = home.run()
+        assert all(r.wait_time == 0.0 for r in result.runs)
+
+
+class TestGSV:
+    def test_one_routine_at_a_time(self):
+        home = Home(model="gsv", n_devices=2)
+        # Disjoint devices, but GSV still serializes them.
+        a = routine("a", [(0, "ON", 5.0)])
+        b = routine("b", [(1, "ON", 5.0)])
+        home.submit(a, when=0.0)
+        home.submit(b, when=0.0)
+        result = home.run()
+        run_a, run_b = result.runs
+        assert run_b.start_time >= run_a.finish_time
+
+    def test_fifo_order(self):
+        home = Home(model="gsv", n_devices=1)
+        runs = [home.submit(routine(f"r{i}", [(0, f"V{i}", 1.0)]),
+                            when=0.0) for i in range(4)]
+        home.run()
+        starts = [run.start_time for run in runs]
+        assert starts == sorted(starts)
+
+    def test_aborts_on_touched_device_failure_mid_run(self):
+        home = Home(model="gsv", n_devices=2)
+        r = routine("r", [(0, "ON", 5.0), (1, "ON", 5.0)])
+        home.submit(r, when=0.0)
+        home.detect_failure(1, at=2.0)  # while command 0 is running
+        result = home.run()
+        run = result.runs[0]
+        assert run.status is RoutineStatus.ABORTED
+        assert "failure" in run.abort_reason
+
+    def test_loose_gsv_survives_unrelated_failure(self):
+        home = Home(model="gsv", n_devices=3)
+        r = routine("r", [(0, "ON", 5.0)])
+        home.submit(r, when=0.0)
+        home.detect_failure(2, at=2.0)  # device 2 is not touched by r
+        result = home.run()
+        assert result.runs[0].status is RoutineStatus.COMMITTED
+
+    def test_strong_gsv_aborts_on_any_failure(self):
+        home = Home(model="sgsv", n_devices=3)
+        r = routine("r", [(0, "ON", 5.0)])
+        home.submit(r, when=0.0)
+        home.detect_failure(2, at=2.0)
+        result = home.run()
+        assert result.runs[0].status is RoutineStatus.ABORTED
+
+    def test_aborts_on_restart_event_too(self):
+        home = Home(model="gsv", n_devices=2)
+        r = routine("r", [(0, "ON", 3.0), (1, "ON", 3.0)])
+        home.submit(r, when=0.0)
+        home.detect_failure(1, at=0.5)
+        # Restart arrives mid-run of r2, which touches device 1 with a
+        # must command: still an abort trigger in GSV (§3).
+        run2 = routine("r2", [(0, "OFF", 2.0), (1, "ON", 1.0)])
+        home.submit(run2, when=10.0)
+        home.detect_restart(1, at=10.5)
+        result = home.run()
+        statuses = [r.status for r in result.runs]
+        assert statuses[0] is RoutineStatus.ABORTED
+        assert statuses[1] is RoutineStatus.ABORTED
+
+    def test_rollback_restores_prior_state(self):
+        home = Home(model="gsv", n_devices=2)
+        r = routine("r", [(0, "ON", 2.0), (1, "ON", 6.0)])
+        home.submit(r, when=0.0)
+        home.detect_failure(1, at=4.0)  # after device 1's write applied
+        result = home.run()
+        run = result.runs[0]
+        assert run.status is RoutineStatus.ABORTED
+        # Device 0's ON is rolled back to OFF; device 1 is failed so its
+        # reconciliation is deferred.
+        assert result.end_state[0] == "OFF"
+        assert run.rolled_back_commands >= 1
+
+    def test_reconciles_failed_device_on_restart(self):
+        home = Home(model="gsv", n_devices=2)
+        r = routine("r", [(0, "ON", 2.0), (1, "ON", 6.0)])
+        home.submit(r, when=0.0)
+        home.detect_failure(1, at=4.0)
+        home.detect_restart(1, at=20.0)
+        result = home.run()
+        # Device 1 physically held ON through the failure; after restart
+        # the hub reconciles it back to the rollback target OFF.
+        assert result.end_state == {0: "OFF", 1: "OFF"}
+
+    def test_must_unreachable_aborts(self):
+        home = Home(model="gsv", n_devices=2)
+        home.registry.get(1).fail()
+        r = routine("r", [(0, "ON", 1.0), (1, "ON", 1.0)])
+        home.submit(r)
+        result = home.run()
+        assert result.runs[0].status is RoutineStatus.ABORTED
+        assert result.end_state[0] == "OFF"  # rolled back
+
+    def test_best_effort_unreachable_skipped(self):
+        home = Home(model="gsv", n_devices=2)
+        home.registry.get(0).fail()
+        r = routine("r", [(0, "ON", 1.0, False), (1, "ON", 1.0)])
+        home.submit(r)
+        result = home.run()
+        run = result.runs[0]
+        assert run.status is RoutineStatus.COMMITTED
+        assert run.executions[0].skipped
+        assert result.end_state[1] == "ON"
