@@ -1,0 +1,87 @@
+"""Fleet scale-out: homes/sec throughput at N ∈ {1, 10, 100, 1000}.
+
+Each datapoint simulates an N-home fleet under the default
+heterogeneous mix (morning / factory-line / cooling) and reports
+wall-clock throughput.  Run standalone for the quick table::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py
+
+or under pytest-benchmark for calibrated timings::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_scale.py
+
+The serial backend is the baseline; on multi-core machines pass
+``--backend process`` (standalone mode) to measure pool speedup.
+"""
+
+import argparse
+import time
+
+import pytest
+
+try:
+    from benchmarks.conftest import run_once
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_....py
+    run_once = None
+from repro.experiments.report import print_table
+from repro.fleet import FleetConfig, FleetEngine
+
+SCALES = (1, 10, 100, 1000)
+
+
+def run_fleet_scale(homes: int, backend: str = "serial",
+                    workers: int = 0, seed: int = 42):
+    engine = FleetEngine(FleetConfig(
+        homes=homes, seed=seed, backend=backend, workers=workers,
+        # The scale sweep measures engine throughput; the O(n!)-ish
+        # final-serializability search is benchmarked elsewhere.
+        check_final=False))
+    return engine.run()
+
+
+@pytest.mark.parametrize("homes", SCALES)
+def test_fleet_scale(benchmark, homes):
+    result = run_once(benchmark, run_fleet_scale, homes)
+    assert result.aggregate["homes"] == homes
+    assert result.aggregate["routines"] > 0
+    print_table(f"fleet N={homes}", [{
+        "homes": homes,
+        "routines": result.aggregate["routines"],
+        "homes_per_sec": round(result.homes_per_second, 1),
+        "lat_p99": round(result.aggregate["latency"]["p99"], 2),
+        "abort_rate": round(result.aggregate["abort_rate"], 4),
+    }])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process"))
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--scales", type=int, nargs="*",
+                        default=list(SCALES))
+    args = parser.parse_args()
+
+    rows = []
+    for homes in args.scales:
+        started = time.perf_counter()
+        result = run_fleet_scale(homes, backend=args.backend,
+                                 workers=args.workers, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        rows.append({
+            "homes": homes,
+            "backend": args.backend,
+            "wall_s": round(elapsed, 3),
+            "homes_per_sec": round(homes / elapsed, 1),
+            "routines": result.aggregate["routines"],
+            "lat_p50": round(result.aggregate["latency"]["p50"], 2),
+            "lat_p99": round(result.aggregate["latency"]["p99"], 2),
+            "abort_rate": round(result.aggregate["abort_rate"], 4),
+        })
+    print_table("Fleet scale-out (heterogeneous mix)", rows)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

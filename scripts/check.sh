@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The one-command CI gate: tests, doc doctests, lint.
+# Usage: ./scripts/check.sh   (from anywhere; PYTHON=... to override)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PY="${PYTHON:-python3}"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests (pytest) =="
+"$PY" -m pytest -x -q
+
+echo
+echo "== doctests in docs code blocks =="
+"$PY" -m doctest README.md docs/*.md
+echo "doctests OK"
+
+echo
+echo "== lint =="
+if "$PY" -m ruff --version >/dev/null 2>&1; then
+    "$PY" -m ruff check src tests benchmarks examples scripts
+elif command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks examples scripts
+elif "$PY" -m pyflakes --version >/dev/null 2>&1; then
+    "$PY" -m pyflakes src/repro tests benchmarks examples
+else
+    echo "(ruff/pyflakes not installed; falling back to compileall)"
+    "$PY" -m compileall -q src tests benchmarks examples
+fi
+echo "lint OK"
+
+echo
+echo "All checks passed."

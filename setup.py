@@ -1,0 +1,10 @@
+"""Shim for editable installs on environments without `wheel`.
+
+All metadata lives in pyproject.toml. `pip install -e .` is the normal
+path; on offline machines missing the `wheel` package, plain
+`python setup.py develop` still works through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -20,7 +20,8 @@ Quick start::
     result = home.run()
 
 See ``examples/`` for realistic scenarios, ``benchmarks/`` for the
-paper's figures and tables, and DESIGN.md for the architecture map.
+paper's figures and tables, ``docs/architecture.md`` for the
+architecture map, and :mod:`repro.fleet` for running N homes at once.
 """
 
 from repro.core.command import Command
@@ -30,7 +31,7 @@ from repro.core.routine import Routine, sequential
 from repro.core.visibility import VisibilityModel, make_controller
 from repro.hub.safehome import SafeHome
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SafeHome",

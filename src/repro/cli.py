@@ -9,6 +9,9 @@ Commands:
 * ``export-trace NAME PATH`` — write a scenario to a trace JSON file.
 * ``run-trace PATH --model M`` — run a trace file under a model.
 * ``ablations`` — run the design-choice ablation sweeps.
+* ``fleet --homes N --seed S`` — simulate a fleet of N independent
+  homes across a worker pool and print deterministic aggregate
+  metrics JSON (see :mod:`repro.fleet`).
 """
 
 import argparse
@@ -113,6 +116,35 @@ def cmd_run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetConfig, FleetEngine
+    from repro.workloads.fleet_mix import DEFAULT_MIX
+
+    config = FleetConfig(
+        homes=args.homes, seed=args.seed, scenario=args.scenario,
+        mix=tuple(args.mix.split(",")) if args.mix else DEFAULT_MIX,
+        model=args.model, scheduler=args.scheduler,
+        backend=args.backend, workers=args.workers,
+        check_final=not args.no_check_final)
+    try:
+        result = FleetEngine(config).run()
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    text = result.to_json(per_home=args.per_home) + "\n"
+    sys.stdout.write(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    if args.stats:
+        print(f"simulated {len(result.rows)} homes in "
+              f"{result.elapsed_s:.2f}s wall "
+              f"({result.homes_per_second:.1f} homes/sec, "
+              f"backend={config.backend}, "
+              f"workers={config.effective_workers()})", file=sys.stderr)
+    return 0
+
+
 def cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
@@ -161,6 +193,35 @@ def build_parser() -> argparse.ArgumentParser:
     ablate = sub.add_parser("ablations", help="design-choice sweeps")
     ablate.add_argument("--trials", type=int, default=4)
     ablate.set_defaults(func=cmd_ablations)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate N independent homes concurrently")
+    fleet.add_argument("--homes", type=int, default=10,
+                       help="fleet size (default: 10)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="master seed, split per home (default: 0)")
+    fleet.add_argument("--scenario", default="mix",
+                       help="'mix' or one fleet scenario name "
+                            "(default: mix)")
+    fleet.add_argument("--mix", default="",
+                       help="comma-separated scenario cycle for "
+                            "--scenario mix")
+    fleet.add_argument("--model", default="ev")
+    fleet.add_argument("--scheduler", default="timeline")
+    fleet.add_argument("--backend", default="serial",
+                       choices=("serial", "thread", "process"),
+                       help="worker pool type (default: serial)")
+    fleet.add_argument("--workers", type=int, default=0,
+                       help="pool size; 0 = one per CPU (default: 0)")
+    fleet.add_argument("--per-home", action="store_true",
+                       help="include per-home rows in the JSON")
+    fleet.add_argument("--no-check-final", action="store_true",
+                       help="skip the final-incongruence check (faster)")
+    fleet.add_argument("--json", default="",
+                       help="also write the JSON to this path")
+    fleet.add_argument("--stats", action="store_true",
+                       help="print wall-clock homes/sec to stderr")
+    fleet.set_defaults(func=cmd_fleet)
     return parser
 
 

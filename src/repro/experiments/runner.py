@@ -9,8 +9,7 @@ returns the :class:`RunResult` (plus a :class:`MetricsReport` from
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.core.controller import (Controller, ControllerConfig, RoutineRun,
-                                   RunResult)
+from repro.core.controller import (Controller, ControllerConfig, RunResult)
 from repro.core.visibility import VisibilityModel, make_controller
 from repro.devices.driver import Driver
 from repro.devices.failures import FailureInjector
@@ -20,7 +19,7 @@ from repro.hub.failure_detector import FailureDetector
 from repro.metrics.collector import MetricsReport, analyze
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, attach_streams
 
 
 @dataclass
@@ -108,39 +107,13 @@ def _run_once(workload: Workload, setup: ExperimentSetup,
 
     for routine, at in workload.arrivals:
         controller.submit(routine, when=at)
-    _attach_streams(controller, workload.streams)
+    attach_streams(controller, workload.streams)
 
     sim.run(max_events=setup.max_events)
     result = RunResult.from_controller(controller)
     report = analyze(result, initial, check_final=setup.check_final,
                      exhaustive_limit=setup.exhaustive_limit)
     return result, report, controller
-
-
-def _attach_streams(controller: Controller,
-                    streams: List[List]) -> None:
-    """Closed-loop injection: each stream submits its next routine when
-    the previous one finishes (the paper's ρ concurrent routines)."""
-    cursors = {index: 0 for index in range(len(streams))}
-    run_to_stream: Dict[int, int] = {}
-
-    def submit_next(stream_index: int) -> None:
-        cursor = cursors[stream_index]
-        if cursor >= len(streams[stream_index]):
-            return
-        cursors[stream_index] = cursor + 1
-        run = controller.submit(streams[stream_index][cursor])
-        run_to_stream[run.routine_id] = stream_index
-
-    def on_finished(run: RoutineRun) -> None:
-        stream_index = run_to_stream.get(run.routine_id)
-        if stream_index is not None:
-            submit_next(stream_index)
-
-    controller.on_routine_finished.append(on_finished)
-    for stream_index, stream in enumerate(streams):
-        if stream:
-            submit_next(stream_index)
 
 
 def run_trials(workload_factory, setup: ExperimentSetup, trials: int,

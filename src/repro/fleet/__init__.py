@@ -1,0 +1,43 @@
+"""Fleet-scale multi-home engine.
+
+The paper evaluates one SafeHome hub at a time; a production deployment
+runs millions of independent hubs.  This package is the architectural
+seam for that scale-out: it shards N :class:`~repro.hub.safehome.SafeHome`
+instances across a pluggable worker pool (serial / thread / process),
+splits one master seed into per-home seeds deterministically
+(:mod:`repro.fleet.seeding`), and batch-aggregates cross-home metrics
+(:func:`repro.metrics.fleet.aggregate_homes`).
+
+Quick start::
+
+    from repro.fleet import FleetConfig, FleetEngine
+
+    result = FleetEngine(FleetConfig(homes=100, seed=42)).run()
+    print(result.to_json())
+
+Determinism contract: a fleet run is a pure function of its
+:class:`FleetConfig` — backend choice, worker count and sharding never
+change a single byte of the aggregate JSON.
+"""
+
+from repro.fleet.engine import (BACKENDS, FleetConfig, FleetEngine,
+                                FleetResult, register_backend, run_fleet)
+from repro.fleet.seeding import SeedSplitter, home_seed
+from repro.fleet.sharding import HomeSpec, Shard, plan_shards
+from repro.fleet.worker import run_home, run_shard
+
+__all__ = [
+    "FleetConfig",
+    "FleetEngine",
+    "FleetResult",
+    "run_fleet",
+    "BACKENDS",
+    "register_backend",
+    "SeedSplitter",
+    "home_seed",
+    "HomeSpec",
+    "Shard",
+    "plan_shards",
+    "run_home",
+    "run_shard",
+]

@@ -1,0 +1,187 @@
+"""The fleet engine: N independent homes across a pluggable worker pool.
+
+Execution backends are registered by name; the built-ins are
+
+* ``serial``  — run every shard inline (the reference backend);
+* ``thread``  — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  (cheap to start; simulations are pure Python so the GIL serializes
+  compute, which makes this mostly a correctness backend);
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  for real multi-core throughput.
+
+All backends receive the same shard plan and return per-home rows that
+are re-sorted by home id before aggregation, so the choice of backend
+or worker count never changes the output bytes.
+"""
+
+import json
+import os
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.fleet.seeding import SeedSplitter
+from repro.fleet.sharding import (DEFAULT_CHECK_FINAL,
+                                  DEFAULT_EXHAUSTIVE_LIMIT,
+                                  DEFAULT_MAX_EVENTS, DEFAULT_MODEL,
+                                  DEFAULT_SCHEDULER, HomeSpec, Shard,
+                                  plan_shards)
+from repro.fleet.worker import run_shard
+from repro.metrics.fleet import aggregate_homes
+from repro.workloads.fleet_mix import DEFAULT_MIX, scenario_for_home
+
+Rows = List[Dict[str, Any]]
+Backend = Callable[[List[Shard], int], Rows]
+
+
+def _run_serial(shards: List[Shard], workers: int) -> Rows:
+    rows: Rows = []
+    for shard in shards:
+        rows.extend(run_shard(shard))
+    return rows
+
+
+def _run_threads(shards: List[Shard], workers: int) -> Rows:
+    with futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        return [row for shard_rows in pool.map(run_shard, shards)
+                for row in shard_rows]
+
+
+def _run_processes(shards: List[Shard], workers: int) -> Rows:
+    with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        return [row for shard_rows in pool.map(run_shard, shards)
+                for row in shard_rows]
+
+
+#: Backend registry: name → callable(shards, workers) → rows.
+BACKENDS: Dict[str, Backend] = {
+    "serial": _run_serial,
+    "thread": _run_threads,
+    "process": _run_processes,
+}
+
+
+def register_backend(name: str, backend: Backend) -> None:
+    """Plug in a custom execution backend (e.g. an async or RPC pool)."""
+    if not callable(backend):
+        raise TypeError("backend must be callable(shards, workers) -> rows")
+    BACKENDS[name] = backend
+
+
+@dataclass
+class FleetConfig:
+    """Everything that defines a fleet run (and nothing else does)."""
+
+    homes: int
+    seed: int = 0
+    scenario: str = "mix"           # "mix" cycles `mix`; else one name
+    mix: Tuple[str, ...] = DEFAULT_MIX
+    model: str = DEFAULT_MODEL
+    scheduler: str = DEFAULT_SCHEDULER
+    backend: str = "serial"
+    workers: int = 0                # 0 = one per CPU (capped at homes)
+    check_final: bool = DEFAULT_CHECK_FINAL
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT
+    max_events: int = DEFAULT_MAX_EVENTS
+
+    def effective_workers(self) -> int:
+        workers = self.workers or (os.cpu_count() or 1)
+        return max(1, min(workers, self.homes))
+
+
+@dataclass
+class FleetResult:
+    """Per-home rows plus the batched cross-home aggregate."""
+
+    config: FleetConfig
+    rows: Rows                      # sorted by home_id
+    aggregate: Dict[str, Any]
+    elapsed_s: float = 0.0          # wall-clock; excluded from to_json
+
+    @property
+    def homes_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return len(self.rows) / self.elapsed_s
+
+    def to_json(self, per_home: bool = False, indent: int = 2) -> str:
+        """Deterministic JSON: same config ⇒ byte-identical output.
+
+        Wall-clock timing and raw latency samples are deliberately
+        excluded; ``per_home`` adds the per-home summary rows.
+        """
+        payload: Dict[str, Any] = {
+            "fleet": {
+                "homes": self.config.homes,
+                "seed": self.config.seed,
+                "scenario": self.config.scenario,
+                "mix": list(self.config.mix)
+                       if self.config.scenario == "mix" else None,
+                "model": self.config.model,
+                "scheduler": self.config.scheduler,
+            },
+            "aggregate": self.aggregate,
+        }
+        if per_home:
+            payload["homes"] = [
+                {key: value for key, value in row.items()
+                 if key != "latencies"}
+                for row in self.rows]
+        return json.dumps(payload, sort_keys=True, indent=indent)
+
+
+class FleetEngine:
+    """Shards N homes over a worker pool and aggregates their metrics."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        if config.homes <= 0:
+            raise ValueError(f"fleet needs >= 1 home, got {config.homes}")
+        if config.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {config.backend!r}; "
+                             f"pick from {sorted(BACKENDS)}")
+        # Fail fast on bad scenario/mix names before spinning up a pool.
+        scenario_for_home(0, config.scenario, config.mix)
+        self.config = config
+        self.splitter = SeedSplitter(master_seed=config.seed)
+
+    def specs(self) -> List[HomeSpec]:
+        """The per-home specs: pure function of the config."""
+        config = self.config
+        return [
+            HomeSpec(
+                home_id=home_id,
+                scenario=scenario_for_home(home_id, config.scenario,
+                                           config.mix),
+                seed=self.splitter.for_home(home_id),
+                model=config.model,
+                scheduler=config.scheduler,
+                check_final=config.check_final,
+                exhaustive_limit=config.exhaustive_limit,
+                max_events=config.max_events,
+            )
+            for home_id in range(config.homes)
+        ]
+
+    def run(self) -> FleetResult:
+        """Simulate the whole fleet and return rows + aggregate."""
+        import time
+
+        config = self.config
+        workers = config.effective_workers()
+        shards = plan_shards(self.specs(), workers)
+        started = time.perf_counter()
+        rows = BACKENDS[config.backend](shards, workers)
+        elapsed = time.perf_counter() - started
+        rows = sorted(rows, key=lambda row: row["home_id"])
+        if len(rows) != config.homes:
+            raise RuntimeError(
+                f"backend {config.backend!r} returned {len(rows)} rows "
+                f"for {config.homes} homes")
+        return FleetResult(config=config, rows=rows,
+                           aggregate=aggregate_homes(rows),
+                           elapsed_s=elapsed)
+
+
+def run_fleet(homes: int, seed: int = 0, **kwargs: Any) -> FleetResult:
+    """One-call convenience wrapper: ``run_fleet(100, seed=42)``."""
+    return FleetEngine(FleetConfig(homes=homes, seed=seed, **kwargs)).run()

@@ -1,0 +1,52 @@
+"""The fleet worker: simulate one home (or one shard) end-to-end.
+
+Module-level functions only — process pools pickle ``run_shard`` plus a
+tuple of :class:`~repro.fleet.sharding.HomeSpec` dataclasses, and every
+worker rebuilds its workloads locally from the spec.  A row is plain
+JSON-serializable data so results cross process boundaries cheaply.
+"""
+
+from typing import Any, Dict, List
+
+from repro.fleet.sharding import HomeSpec, Shard
+from repro.hub.safehome import SafeHome
+from repro.workloads.fleet_mix import build_fleet_workload
+
+
+def run_home(spec: HomeSpec) -> Dict[str, Any]:
+    """Simulate one home from its spec; return its metrics row.
+
+    The home is a full :class:`~repro.hub.safehome.SafeHome` hub — the
+    same facade users program against — loaded with the spec's scenario
+    workload and analyzed with the §7.1 metrics.  ``latencies`` carries
+    the raw per-routine samples so the fleet aggregate can compute true
+    cross-home percentiles instead of averaging per-home percentiles.
+    """
+    workload = build_fleet_workload(spec.scenario, seed=spec.seed)
+    home = SafeHome(visibility=spec.model, scheduler=spec.scheduler,
+                    seed=spec.seed)
+    home.load_workload(workload)
+    result = home.run(max_events=spec.max_events)
+    report = home.report(check_final=spec.check_final,
+                         exhaustive_limit=spec.exhaustive_limit)
+    return {
+        "home_id": spec.home_id,
+        "scenario": spec.scenario,
+        "model": report.model_name,
+        "seed": spec.seed,
+        "routines": report.routines,
+        "committed": report.committed,
+        "aborted": report.aborted,
+        "abort_rate": report.abort_rate,
+        "latencies": result.latencies(),
+        "lat_p50": report.latency["p50"],
+        "lat_p95": report.latency["p95"],
+        "temporary_incongruence": report.temporary_incongruence,
+        "final_congruent": report.final_congruent,
+        "makespan": result.makespan,
+    }
+
+
+def run_shard(shard: Shard) -> List[Dict[str, Any]]:
+    """Simulate every home in a shard, in home-id order."""
+    return [run_home(spec) for spec in shard.specs]

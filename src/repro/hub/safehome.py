@@ -30,10 +30,13 @@ from repro.devices.driver import Driver
 from repro.devices.failures import FailureInjector, FailurePlan
 from repro.devices.network import LatencyModel
 from repro.devices.registry import DeviceRegistry
+from repro.errors import SafeHomeError
 from repro.hub.failure_detector import FailureDetector
 from repro.hub.routine_bank import RoutineBank
+from repro.metrics.collector import MetricsReport, analyze
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
+from repro.workloads.base import Workload, attach_streams
 
 
 class SafeHome:
@@ -62,6 +65,8 @@ class SafeHome:
         self.bank = RoutineBank()
         self.injector = FailureInjector(self.sim, self.registry)
         self._detector_started = False
+        self._initial: Optional[Dict[int, Any]] = None
+        self._last_result: Optional[RunResult] = None
 
     # -- setup -----------------------------------------------------------------
 
@@ -89,6 +94,24 @@ class SafeHome:
         """Script a fail-stop failure (and optional restart)."""
         device = self.registry.by_name(device_name)
         self.injector.add(FailurePlan(device.device_id, fail_at, restart_at))
+
+    def load_workload(self, workload: Workload) -> None:
+        """Populate this home from a :class:`Workload` in one call.
+
+        Creates the workload's devices, scripts its failure plans,
+        submits its open-loop arrivals and wires its closed-loop streams
+        — the same injection the experiment runner performs, but against
+        a user-facing hub.  This is how the fleet engine turns a home
+        spec into a running :class:`SafeHome`.
+        """
+        for type_name, name in workload.devices:
+            self.registry.create(type_name, name)
+        for plan in workload.failure_plans:
+            self.injector.add(plan)
+        self._initial = self.registry.snapshot()
+        for routine, at in workload.arrivals:
+            self.controller.submit(routine, when=at)
+        attach_streams(self.controller, workload.streams)
 
     # -- dispatch (user or trigger initiation) -------------------------------------
 
@@ -123,24 +146,50 @@ class SafeHome:
     # -- execution -------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None,
-            detector: Optional[bool] = None) -> RunResult:
+            detector: Optional[bool] = None,
+            max_events: Optional[int] = None) -> RunResult:
         """Run the simulation to completion and return the results.
 
         Args:
             until: optional virtual-time bound.
             detector: force the failure detector on/off; by default it
                 runs only when failures are scripted.
+            max_events: safety valve against runaway simulations.
         """
         start_detector = detector if detector is not None \
             else bool(self.injector.plans)
         if start_detector and not self._detector_started:
             self.detector.start()
             self._detector_started = True
+        # Implicit detection (command timeouts) is always wired: the
+        # detector's constructor set driver.on_timeout at build time.
+        if self._initial is None:
+            self._initial = self.registry.snapshot()
         self.injector.arm()
-        self.sim.run(until=until)
-        return RunResult.from_controller(self.controller)
+        self.sim.run(until=until, max_events=max_events)
+        self._last_result = RunResult.from_controller(self.controller)
+        return self._last_result
 
     # -- inspection ---------------------------------------------------------------------
+
+    @property
+    def last_result(self) -> Optional[RunResult]:
+        """The :class:`RunResult` of the most recent :meth:`run`."""
+        return self._last_result
+
+    def report(self, check_final: bool = True,
+               exhaustive_limit: int = 7) -> MetricsReport:
+        """Analyze the last run: every §7.1 metric for this home.
+
+        Requires a prior :meth:`run`; the initial device snapshot taken
+        at load/run time anchors the final-incongruence check.
+        """
+        if self._last_result is None or self._initial is None:
+            raise SafeHomeError("no completed run to report on; "
+                                "call run() first")
+        return analyze(self._last_result, self._initial,
+                       check_final=check_final,
+                       exhaustive_limit=exhaustive_limit)
 
     def state_of(self, device_name: str) -> Any:
         return self.registry.by_name(device_name).state

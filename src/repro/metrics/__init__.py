@@ -15,6 +15,7 @@ from repro.metrics.congruence import (end_state_of_order,
                                       final_state_serializable,
                                       serial_end_state_exists,
                                       temporary_incongruence)
+from repro.metrics.fleet import aggregate_homes
 from repro.metrics.serialization import (reconstruct_serial_order,
                                          validate_serial_order)
 from repro.metrics.stats import (cdf_points, mean, normalized_swap_distance,
@@ -35,4 +36,5 @@ __all__ = [
     "normalized_swap_distance",
     "MetricsReport",
     "analyze",
+    "aggregate_homes",
 ]

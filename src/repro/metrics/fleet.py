@@ -1,0 +1,56 @@
+"""Batched cross-home metric aggregation for fleet runs.
+
+A fleet run produces one row per home (see
+:func:`repro.fleet.worker.run_home`); this module pools those rows into
+the fleet-level report: latency percentiles over *all* committed
+routines in the fleet (p50/p95/p99), the fleet-wide abort rate, and the
+fraction of homes whose final state was incongruent — the same §7.1
+metrics the single-home experiments report, lifted to N homes.
+
+Everything here is pure and order-insensitive (rows are sorted by home
+id before any float is summed), so the aggregate JSON is byte-identical
+across backends, worker counts and repeated runs.
+"""
+
+from typing import Any, Dict, Mapping, Sequence
+
+from repro.metrics.stats import mean, percentile
+
+
+def aggregate_homes(rows: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Pool per-home fleet rows into one aggregate report.
+
+    Each row must carry ``home_id``, ``routines``, ``committed``,
+    ``aborted``, ``latencies`` (raw per-routine samples for pooling),
+    ``temporary_incongruence``, ``final_congruent`` (or ``None`` when
+    unchecked) and ``makespan``.
+    """
+    rows = sorted(rows, key=lambda row: row["home_id"])
+    pooled = [sample for row in rows for sample in row.get("latencies", ())]
+    routines = sum(row["routines"] for row in rows)
+    aborted = sum(row["aborted"] for row in rows)
+    checked = [row["final_congruent"] for row in rows
+               if row.get("final_congruent") is not None]
+    makespans = [row["makespan"] for row in rows]
+    return {
+        "homes": len(rows),
+        "routines": routines,
+        "committed": sum(row["committed"] for row in rows),
+        "aborted": aborted,
+        "abort_rate": (aborted / routines) if routines else 0.0,
+        "latency": {
+            "n": len(pooled),
+            "mean": mean(pooled),
+            "p50": percentile(pooled, 50),
+            "p95": percentile(pooled, 95),
+            "p99": percentile(pooled, 99),
+            "max": max(pooled) if pooled else 0.0,
+        },
+        "final_incongruence": (
+            1.0 - sum(checked) / len(checked) if checked else None),
+        "homes_final_checked": len(checked),
+        "temporary_incongruence_mean": mean(
+            [row["temporary_incongruence"] for row in rows]),
+        "makespan_mean": mean(makespans),
+        "makespan_max": max(makespans) if makespans else 0.0,
+    }

@@ -7,7 +7,37 @@ does not perturb unrelated randomness between runs.
 
 import random
 import zlib
-from typing import Dict
+from typing import Dict, Union
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finalizer: map an integer to a well-mixed 64-bit word.
+
+    Used to derive statistically independent child seeds from a master
+    seed (fleet runs split one seed into thousands of per-home seeds).
+    Pure and platform-stable, so derived seeds never depend on hashing
+    state, process boundaries or iteration order.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def derive_seed(seed: int, key: Union[int, str]) -> int:
+    """A child seed from ``seed`` and a split key, stable everywhere.
+
+    String keys hash via crc32 (like stream names) so the result is
+    independent of PYTHONHASHSEED; the combined word then goes through
+    :func:`mix64` so adjacent keys yield uncorrelated seeds.  The full
+    63-bit range is kept: truncating to 32 bits would birthday-collide
+    per-home seeds at the fleet sizes this layer exists to serve.
+    """
+    if isinstance(key, str):
+        key = zlib.crc32(key.encode("utf-8"))
+    return mix64((seed & _MASK64) ^ (mix64(key & _MASK64))) & 0x7FFFFFFFFFFFFFFF
 
 
 class RandomStreams:
@@ -30,6 +60,15 @@ class RandomStreams:
     def spawn(self, salt: int) -> "RandomStreams":
         """A new family for an independent trial (``salt`` = trial index)."""
         return RandomStreams(seed=(self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    def split(self, key: Union[int, str]) -> "RandomStreams":
+        """A new, statistically independent family keyed by ``key``.
+
+        Unlike :meth:`spawn` (linear in the salt, fine for small trial
+        counts), ``split`` mixes through SplitMix64 so thousands of
+        sibling families — one per home in a fleet — stay uncorrelated.
+        """
+        return RandomStreams(seed=derive_seed(self.seed, key))
 
 
 def positive_normal(rng: random.Random, mean: float, sigma: float,

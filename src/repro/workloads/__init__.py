@@ -1,7 +1,12 @@
-"""Workloads: the paper's microbenchmark, Fig 1 experiment and the three
-trace-derived scenarios (Morning / Party / Factory, §7.2)."""
+"""Workloads: the paper's microbenchmark, Fig 1 experiment, the three
+trace-derived scenarios (Morning / Party / Factory, §7.2) and the
+heterogeneous per-home profiles of the fleet engine."""
 
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, attach_streams
+from repro.workloads.fleet_mix import (DEFAULT_MIX, FLEET_SCENARIOS,
+                                       build_fleet_workload, cooling_scenario,
+                                       factory_line_scenario,
+                                       scenario_for_home)
 from repro.workloads.lights import lights_workload
 from repro.workloads.micro import MicroParams, generate_microbenchmark
 from repro.workloads.scenarios import (factory_scenario, morning_scenario,
@@ -9,10 +14,17 @@ from repro.workloads.scenarios import (factory_scenario, morning_scenario,
 
 __all__ = [
     "Workload",
+    "attach_streams",
     "MicroParams",
     "generate_microbenchmark",
     "lights_workload",
     "morning_scenario",
     "party_scenario",
     "factory_scenario",
+    "cooling_scenario",
+    "factory_line_scenario",
+    "build_fleet_workload",
+    "scenario_for_home",
+    "DEFAULT_MIX",
+    "FLEET_SCENARIOS",
 ]

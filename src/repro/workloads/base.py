@@ -43,3 +43,28 @@ class Workload:
 
     def device_count(self) -> int:
         return len(self.devices)
+
+
+def attach_streams(controller, streams: List[List[Routine]]) -> None:
+    """Closed-loop injection: each stream submits its next routine when
+    the previous one finishes (the paper's ρ concurrent routines)."""
+    cursors = {index: 0 for index in range(len(streams))}
+    run_to_stream: Dict[int, int] = {}
+
+    def submit_next(stream_index: int) -> None:
+        cursor = cursors[stream_index]
+        if cursor >= len(streams[stream_index]):
+            return
+        cursors[stream_index] = cursor + 1
+        run = controller.submit(streams[stream_index][cursor])
+        run_to_stream[run.routine_id] = stream_index
+
+    def on_finished(run) -> None:
+        stream_index = run_to_stream.get(run.routine_id)
+        if stream_index is not None:
+            submit_next(stream_index)
+
+    controller.on_routine_finished.append(on_finished)
+    for stream_index, stream in enumerate(streams):
+        if stream:
+            submit_next(stream_index)

@@ -1,0 +1,141 @@
+"""Heterogeneous fleet workloads: what N different homes run at once.
+
+A fleet run (``repro fleet``, :mod:`repro.fleet`) simulates many
+independent homes concurrently.  Real deployments are heterogeneous, so
+the default fleet mix cycles three home profiles:
+
+* **morning** — the paper's chaotic 4-user morning rush (§7.2);
+* **factory-line** — a scaled-down assembly line (8 stages, closed
+  loop) exercising the shared/global-device contention of §7.2;
+* **cooling** — a small residential cooling/ventilation home built
+  around the paper's motivating Rcooling example (§1).
+
+Every factory takes a single ``seed`` and is fully deterministic, so a
+fleet of homes is reproducible from one master seed plus the
+seed-splitting layer in :mod:`repro.fleet.seeding`.
+"""
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.devices.failures import FailurePlan
+from repro.sim.random import RandomStreams
+from repro.workloads.base import Workload
+from repro.workloads.scenarios import (_routine, factory_scenario,
+                                       morning_scenario, party_scenario)
+
+#: The default per-home profile cycle for ``scenario="mix"`` fleets.
+DEFAULT_MIX: Tuple[str, ...] = ("morning", "factory-line", "cooling")
+
+
+def cooling_scenario(seed: int = 0, with_failure: bool = False) -> Workload:
+    """A small cooling/ventilation home (6 routines over ~10 minutes).
+
+    Built around Rcooling = {window:CLOSE; AC:ON} from §1, plus the
+    conflicting ventilation routine that makes atomicity interesting.
+    With ``with_failure`` the living-room AC fail-stops mid-run and
+    restarts later — used by the fleet failure-isolation tests.
+    """
+    rng = RandomStreams(seed=seed).stream("cooling")
+    devices: List[Tuple[str, str]] = [
+        ("window", "living-window"), ("window", "bed-window"),
+        ("ac", "living-ac"), ("ac", "bed-ac"),
+        ("fan", "ceiling-fan"), ("thermostat", "thermostat"),
+        ("shade", "living-shade"), ("light", "living-light"),
+    ]
+    name_to_id = {name: index for index, (_t, name) in enumerate(devices)}
+    horizon = 600.0
+
+    steps_by_routine = [
+        ("cool-living", "alice", [
+            ("living-window", "CLOSED", 3),
+            ("living-ac", "ON", 45),
+        ]),
+        ("cool-bedroom", "bob", [
+            ("bed-window", "CLOSED", 3),
+            ("bed-ac", "ON", 40),
+        ]),
+        ("ventilate", "alice", [
+            ("living-ac", "OFF", 2),
+            ("living-window", "OPEN", 3),
+            ("ceiling-fan", "ON", 30, False),
+        ]),
+        ("afternoon-shade", "carol", [
+            ("living-shade", "CLOSED", 4, False),
+            ("living-light", "ON", 1, False),
+        ]),
+        ("night-setback", "bob", [
+            ("thermostat", 68, 2),
+            ("living-light", "OFF", 1, False),
+            ("ceiling-fan", "OFF", 2, False),
+        ]),
+        ("re-cool", "carol", [
+            ("living-window", "CLOSED", 3),
+            ("living-ac", "ON", 35),
+        ]),
+    ]
+    arrivals = []
+    at = 0.0
+    for name, user, steps in steps_by_routine:
+        arrivals.append((_routine(name, user, steps, name_to_id, rng), at))
+        at += rng.uniform(30.0, horizon / len(steps_by_routine))
+
+    failure_plans: List[FailurePlan] = []
+    if with_failure:
+        fail_at = rng.uniform(5.0, 60.0)
+        failure_plans.append(FailurePlan(
+            device_id=name_to_id["living-ac"], fail_at=fail_at,
+            restart_at=fail_at + rng.uniform(60.0, 120.0)))
+
+    return Workload(name="cooling", devices=devices, arrivals=arrivals,
+                    failure_plans=failure_plans, horizon_hint=horizon * 2,
+                    meta={"faulty": with_failure})
+
+
+def factory_line_scenario(seed: int = 0) -> Workload:
+    """The §7.2 factory benchmark scaled to a per-home shard (8 stages)."""
+    return factory_scenario(seed=seed, stages=8, routines_per_stage=2)
+
+
+#: Scenario registry used by the fleet engine: name → factory(seed).
+FLEET_SCENARIOS: Dict[str, Callable[[int], Workload]] = {
+    "morning": lambda seed: morning_scenario(seed=seed),
+    "party": lambda seed: party_scenario(seed=seed),
+    "factory": lambda seed: factory_scenario(seed=seed),
+    "factory-line": factory_line_scenario,
+    "cooling": lambda seed: cooling_scenario(seed=seed),
+    "cooling-faulty": lambda seed: cooling_scenario(seed=seed,
+                                                    with_failure=True),
+}
+
+
+def scenario_for_home(home_id: int, scenario: str = "mix",
+                      mix: Sequence[str] = DEFAULT_MIX) -> str:
+    """The scenario name home ``home_id`` runs.
+
+    ``scenario="mix"`` cycles deterministically through ``mix`` by home
+    index (position in the fleet, independent of sharding); any other
+    value names one :data:`FLEET_SCENARIOS` entry for every home.
+    """
+    if scenario != "mix":
+        if scenario not in FLEET_SCENARIOS:
+            raise ValueError(
+                f"unknown fleet scenario {scenario!r}; "
+                f"pick from {sorted(FLEET_SCENARIOS)} or 'mix'")
+        return scenario
+    if not mix:
+        raise ValueError("empty fleet mix")
+    for name in mix:
+        if name not in FLEET_SCENARIOS:
+            raise ValueError(f"unknown scenario {name!r} in fleet mix")
+    return mix[home_id % len(mix)]
+
+
+def build_fleet_workload(scenario: str, seed: int) -> Workload:
+    """Instantiate one home's workload from its registry name."""
+    try:
+        factory = FLEET_SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown fleet scenario {scenario!r}; "
+            f"pick from {sorted(FLEET_SCENARIOS)}") from None
+    return factory(seed)

@@ -1,0 +1,231 @@
+"""Fleet engine: determinism, isolation, sharding and N=1 equivalence."""
+
+import json
+
+import pytest
+
+from repro.fleet import (FleetConfig, FleetEngine, HomeSpec, SeedSplitter,
+                         home_seed, plan_shards, run_fleet, run_home)
+from repro.hub.safehome import SafeHome
+from repro.metrics.fleet import aggregate_homes
+from repro.sim.random import derive_seed, mix64
+from repro.workloads.fleet_mix import (DEFAULT_MIX, build_fleet_workload,
+                                       scenario_for_home)
+
+
+# -- seed splitting ------------------------------------------------------------
+
+
+def test_mix64_is_pure_and_spreads():
+    assert mix64(1) == mix64(1)
+    outputs = {mix64(i) for i in range(1000)}
+    assert len(outputs) == 1000  # no collisions on small consecutive keys
+
+
+def test_derive_seed_stable_for_str_and_int():
+    assert derive_seed(42, "home-3") == derive_seed(42, "home-3")
+    assert derive_seed(42, 3) == derive_seed(42, 3)
+    assert derive_seed(42, "home-3") != derive_seed(43, "home-3")
+
+
+def test_home_seeds_pure_and_distinct():
+    splitter = SeedSplitter(master_seed=42)
+    seeds = [splitter.for_home(i) for i in range(500)]
+    assert seeds == [home_seed(42, i) for i in range(500)]
+    assert len(set(seeds)) == 500
+    # Adjacent homes are not linearly related (SplitMix64, not offsets).
+    deltas = {b - a for a, b in zip(seeds, seeds[1:])}
+    assert len(deltas) > 450
+
+
+# -- sharding ------------------------------------------------------------------
+
+
+def _specs(n):
+    return [HomeSpec(home_id=i, scenario="cooling", seed=home_seed(0, i))
+            for i in range(n)]
+
+
+def test_plan_shards_round_robin_covers_all_homes():
+    shards = plan_shards(_specs(10), 3)
+    assert [shard.shard_id for shard in shards] == [0, 1, 2]
+    ids = sorted(spec.home_id for shard in shards for spec in shard.specs)
+    assert ids == list(range(10))
+    assert {len(shard) for shard in shards} == {3, 4}
+    assert [spec.home_id for spec in shards[0].specs] == [0, 3, 6, 9]
+
+
+def test_plan_shards_never_creates_empty_shards():
+    shards = plan_shards(_specs(2), 8)
+    assert len(shards) == 2
+    with pytest.raises(ValueError):
+        plan_shards(_specs(2), 0)
+
+
+# -- scenario mix --------------------------------------------------------------
+
+
+def test_scenario_mix_cycles_by_home_id():
+    names = [scenario_for_home(i) for i in range(6)]
+    assert names == list(DEFAULT_MIX) * 2
+    assert scenario_for_home(5, "cooling") == "cooling"
+    with pytest.raises(ValueError):
+        scenario_for_home(0, "nope")
+    with pytest.raises(ValueError):
+        scenario_for_home(0, "mix", mix=("morning", "nope"))
+    with pytest.raises(ValueError):
+        build_fleet_workload("nope", seed=0)
+
+
+def test_fleet_workloads_build_and_are_seed_deterministic():
+    for name in ("morning", "factory-line", "cooling", "cooling-faulty"):
+        one = build_fleet_workload(name, seed=5)
+        two = build_fleet_workload(name, seed=5)
+        assert one.device_count() == two.device_count()
+        assert [r.name for r, _t in one.arrivals] == \
+            [r.name for r, _t in two.arrivals]
+        assert [t for _r, t in one.arrivals] == [t for _r, t in two.arrivals]
+    faulty = build_fleet_workload("cooling-faulty", seed=5)
+    assert faulty.failure_plans
+
+
+# -- the determinism contract --------------------------------------------------
+
+
+def test_same_seed_gives_byte_identical_aggregate_json():
+    one = run_fleet(6, seed=42)
+    two = run_fleet(6, seed=42)
+    assert one.to_json(per_home=True) == two.to_json(per_home=True)
+
+
+def test_different_seeds_differ():
+    one = run_fleet(4, seed=1, scenario="cooling")
+    two = run_fleet(4, seed=2, scenario="cooling")
+    assert one.to_json() != two.to_json()
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backends_match_serial_bytes(backend):
+    serial = run_fleet(6, seed=11)
+    pooled = run_fleet(6, seed=11, backend=backend, workers=3)
+    assert pooled.to_json(per_home=True) == serial.to_json(per_home=True)
+
+
+def test_worker_count_does_not_change_output():
+    one = run_fleet(5, seed=3, scenario="cooling", workers=1)
+    five = run_fleet(5, seed=3, scenario="cooling", workers=5,
+                     backend="thread")
+    assert one.to_json(per_home=True) == five.to_json(per_home=True)
+
+
+# -- N=1 fleet ≡ single SafeHome run ------------------------------------------
+
+
+def test_fleet_of_one_equals_standalone_safehome_run():
+    result = run_fleet(1, seed=42, scenario="morning")
+    row = result.rows[0]
+
+    seed = home_seed(42, 0)
+    home = SafeHome(visibility="ev", scheduler="timeline", seed=seed)
+    home.load_workload(build_fleet_workload("morning", seed=seed))
+    run_result = home.run(max_events=5_000_000)
+    report = home.report(check_final=True, exhaustive_limit=7)
+
+    assert row["seed"] == seed
+    assert row["routines"] == report.routines
+    assert row["committed"] == report.committed
+    assert row["aborted"] == report.aborted
+    assert row["latencies"] == run_result.latencies()
+    assert row["lat_p50"] == report.latency["p50"]
+    assert row["final_congruent"] == report.final_congruent
+    assert row["makespan"] == run_result.makespan
+
+
+# -- shard-failure isolation ---------------------------------------------------
+
+
+def test_one_homes_failure_never_perturbs_its_neighbours():
+    healthy = run_fleet(5, seed=9, scenario="cooling")
+    faulty_spec = HomeSpec(home_id=2, scenario="cooling-faulty",
+                           seed=home_seed(9, 2))
+    mixed_rows = [run_home(spec) if spec.home_id != 2
+                  else run_home(faulty_spec)
+                  for spec in FleetEngine(
+                      FleetConfig(homes=5, seed=9,
+                                  scenario="cooling")).specs()]
+
+    faulty_row = mixed_rows[2]
+    assert faulty_row["aborted"] > 0 or \
+        faulty_row["makespan"] != healthy.rows[2]["makespan"]
+    for home_id in (0, 1, 3, 4):
+        assert mixed_rows[home_id] == healthy.rows[home_id]
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def test_aggregate_percentiles_ordered_and_rates_bounded():
+    aggregate = run_fleet(6, seed=4).aggregate
+    latency = aggregate["latency"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"] \
+        <= latency["max"]
+    assert 0.0 <= aggregate["abort_rate"] <= 1.0
+    assert aggregate["homes"] == 6
+    assert aggregate["routines"] == aggregate["committed"] \
+        + aggregate["aborted"]
+    assert aggregate["homes_final_checked"] == 6
+    assert aggregate["final_incongruence"] == 0.0
+
+
+def test_aggregate_is_insensitive_to_row_order():
+    rows = run_fleet(4, seed=8, scenario="cooling").rows
+    assert aggregate_homes(rows) == aggregate_homes(list(reversed(rows)))
+
+
+def test_aggregate_handles_unchecked_final_state():
+    result = run_fleet(3, seed=2, scenario="cooling", check_final=False)
+    assert result.aggregate["final_incongruence"] is None
+    assert result.aggregate["homes_final_checked"] == 0
+
+
+# -- engine validation ---------------------------------------------------------
+
+
+def test_engine_rejects_bad_config():
+    with pytest.raises(ValueError):
+        FleetEngine(FleetConfig(homes=0))
+    with pytest.raises(ValueError):
+        FleetEngine(FleetConfig(homes=1, backend="quantum"))
+    with pytest.raises(ValueError):
+        FleetEngine(FleetConfig(homes=1, scenario="nope"))
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_fleet_deterministic_json(tmp_path, capsys):
+    from repro.cli import main
+
+    path_one = tmp_path / "one.json"
+    path_two = tmp_path / "two.json"
+    argv = ["fleet", "--homes", "4", "--seed", "42",
+            "--scenario", "cooling", "--per-home"]
+    assert main(argv + ["--json", str(path_one)]) == 0
+    out_one = capsys.readouterr().out
+    assert main(argv + ["--json", str(path_two)]) == 0
+    out_two = capsys.readouterr().out
+
+    assert out_one == out_two
+    assert path_one.read_bytes() == path_two.read_bytes()
+    assert path_one.read_text() == out_one
+    payload = json.loads(out_one)
+    assert payload["aggregate"]["homes"] == 4
+    assert len(payload["homes"]) == 4
+    assert "latencies" not in payload["homes"][0]
+
+
+def test_cli_fleet_rejects_unknown_scenario(capsys):
+    from repro.cli import main
+
+    assert main(["fleet", "--homes", "2", "--scenario", "nope"]) == 2
+    assert "unknown" in capsys.readouterr().err
