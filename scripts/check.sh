@@ -16,6 +16,19 @@ echo "== doctests in docs code blocks =="
 echo "doctests OK"
 
 echo
+echo "== determinism gate (serial + parallel execution) =="
+DET_DIR="$(mktemp -d)"
+trap 'rm -rf "$DET_DIR"' EXIT
+for exec_mode in serial parallel; do
+    "$PY" -m repro scenario morning --model ev --execution "$exec_mode" \
+        --json "$DET_DIR/a.json" >/dev/null
+    "$PY" -m repro scenario morning --model ev --execution "$exec_mode" \
+        --json "$DET_DIR/b.json" >/dev/null
+    cmp "$DET_DIR/a.json" "$DET_DIR/b.json"
+    echo "execution=$exec_mode deterministic"
+done
+
+echo
 echo "== lint =="
 if "$PY" -m ruff --version >/dev/null 2>&1; then
     "$PY" -m ruff check src tests benchmarks examples scripts

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List
 from repro.experiments import figures as fig_mod
 from repro.experiments.report import print_table
 from repro.experiments.runner import ExperimentSetup, run_workload
+from repro.workloads.fanout import fanout_scenario
 from repro.workloads.scenarios import (factory_scenario, morning_scenario,
                                        party_scenario)
 
@@ -28,6 +29,7 @@ _SCENARIOS = {
     "morning": morning_scenario,
     "party": party_scenario,
     "factory": factory_scenario,
+    "fanout": fanout_scenario,
 }
 
 
@@ -79,6 +81,19 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_json(report) -> str:
+    """Deterministic JSON for one scenario report (determinism gate)."""
+    import json
+
+    payload = dict(report.row())
+    payload["serial_order"] = list(report.serial_order)
+    payload["lock_wait_p50"] = round(report.lock_wait.get("p50", 0.0), 6)
+    payload["lock_wait_mean"] = round(report.lock_wait.get("mean", 0.0), 6)
+    payload["plan_makespan_p50"] = round(
+        report.plan_makespan.get("p50", 0.0), 6)
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     factory = _SCENARIOS.get(args.name)
     if factory is None:
@@ -87,9 +102,13 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         return 2
     workload = factory(seed=args.seed)
     setup = ExperimentSetup(model=args.model, scheduler=args.scheduler,
+                            execution=args.execution,
                             seed=args.seed, check_final=False)
     _result, report, _controller = run_workload(workload, setup)
     print_table(f"{args.name} under {args.model}", [report.row()])
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(_report_json(report))
     return 0
 
 
@@ -110,6 +129,7 @@ def cmd_run_trace(args: argparse.Namespace) -> int:
 
     workload = load_workload(args.path)
     setup = ExperimentSetup(model=args.model, scheduler=args.scheduler,
+                            execution=args.execution,
                             seed=args.seed, check_final=False)
     _result, report, _controller = run_workload(workload, setup)
     print_table(f"{workload.name} under {args.model}", [report.row()])
@@ -124,6 +144,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         homes=args.homes, seed=args.seed, scenario=args.scenario,
         mix=tuple(args.mix.split(",")) if args.mix else DEFAULT_MIX,
         model=args.model, scheduler=args.scheduler,
+        execution=args.execution,
         backend=args.backend, workers=args.workers,
         check_final=not args.no_check_final)
     try:
@@ -174,7 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("name")
     scenario.add_argument("--model", default="ev")
     scenario.add_argument("--scheduler", default="timeline")
+    scenario.add_argument("--execution", default=None,
+                          choices=("serial", "parallel"),
+                          help="command-plan strategy (default: serial)")
     scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--json", default="",
+                          help="write the report JSON to this path "
+                               "(deterministic; used by the CI gate)")
     scenario.set_defaults(func=cmd_scenario)
 
     export = sub.add_parser("export-trace", help="write a scenario trace")
@@ -187,6 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_trace.add_argument("path")
     run_trace.add_argument("--model", default="ev")
     run_trace.add_argument("--scheduler", default="timeline")
+    run_trace.add_argument("--execution", default=None,
+                           choices=("serial", "parallel"))
     run_trace.add_argument("--seed", type=int, default=0)
     run_trace.set_defaults(func=cmd_run_trace)
 
@@ -208,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "--scenario mix")
     fleet.add_argument("--model", default="ev")
     fleet.add_argument("--scheduler", default="timeline")
+    fleet.add_argument("--execution", default="serial",
+                       choices=("serial", "parallel"),
+                       help="per-home command-plan strategy "
+                            "(default: serial)")
     fleet.add_argument("--backend", default="serial",
                        choices=("serial", "thread", "process"),
                        help="worker pool type (default: serial)")

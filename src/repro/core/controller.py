@@ -48,6 +48,7 @@ class ControllerConfig:
     tau_timeout_s: float = 0.1      # duration-estimate floor (short cmds)
     estimate_error: float = 0.0     # relative error injected into estimates
     scheduler: str = "timeline"     # fcfs | jit | timeline
+    execution: str = "serial"       # serial | parallel (command plan)
     jit_ttl_s: float = 120.0        # JiT anti-starvation TTL
     stretch_threshold: float = 4.0  # TL admission bound (×ideal runtime)
     reconcile_on_restart: bool = True
@@ -68,7 +69,17 @@ class RoutineRun:
     executions: List[CommandExecution] = field(default_factory=list)
     abort_reason: str = ""
     abort_pending: str = ""
-    inflight: bool = False
+    inflight_count: int = 0
+    # Compiled CommandPlan (execution core); None until first dispatch.
+    plan: Optional[Any] = None
+    # Seconds commands spent ready-but-blocked on locks (parallel plans)
+    # plus lock-table admission waits.
+    lock_wait_s: float = 0.0
+    # Order of arrival at the controller (lock-table admission FIFO).
+    arrival_seq: int = -1
+    # device id -> index of the routine's last command on that device,
+    # precomputed once so per-command bookkeeping is O(1).
+    last_index_by_device: Dict[int, int] = field(default_factory=dict)
     # Devices → state observed just before this routine's first write
     # (rollback target for the lineage-less models).
     prior_states: Dict[int, Any] = field(default_factory=dict)
@@ -78,6 +89,17 @@ class RoutineRun:
     # finish-point check).
     failed_after_last_touch: Set[int] = field(default_factory=set)
     rolled_back_commands: int = 0
+
+    def __post_init__(self) -> None:
+        self.last_index_by_device = {
+            command.device_id: index
+            for index, command in enumerate(self.routine.commands)}
+
+    @property
+    def inflight(self) -> bool:
+        """At least one command is currently executing (parallel plans
+        may have several in flight at once)."""
+        return self.inflight_count > 0
 
     @property
     def name(self) -> str:
@@ -193,7 +215,7 @@ class Controller:
         execution = CommandExecution(command=command,
                                      started_at=self.sim.now)
         run.executions.append(execution)
-        run.inflight = True
+        run.inflight_count += 1
 
         if command.device_id in self.believed_failed:
             # The hub already believes the device is down: no point
@@ -243,10 +265,15 @@ class Controller:
     def _command_elapsed(self, run: RoutineRun, execution: CommandExecution,
                          on_done: Callable) -> None:
         execution.finished_at = self.sim.now
-        run.inflight = False
+        run.inflight_count -= 1
+        self._on_execution_resolved(run, execution)
         if run.abort_pending and not run.done:
-            reason, run.abort_pending = run.abort_pending, ""
-            self.abort(run, reason)
+            # A parallel plan may still have sibling commands in flight;
+            # the abort fires when the last one resolves (serial plans
+            # are always at zero here, preserving the old behavior).
+            if run.inflight_count == 0:
+                reason, run.abort_pending = run.abort_pending, ""
+                self.abort(run, reason)
             return
         if run.done:
             return
@@ -258,18 +285,26 @@ class Controller:
         """Command could not reach its device: skip or abort (§2.2)."""
         execution.finished_at = self.sim.now
         execution.skipped = True
-        run.inflight = False
+        run.inflight_count -= 1
+        self._on_execution_resolved(run, execution)
         if run.abort_pending and not run.done:
-            reason, run.abort_pending = run.abort_pending, ""
-            self.abort(run, reason)
+            if run.inflight_count == 0:
+                reason, run.abort_pending = run.abort_pending, ""
+                self.abort(run, reason)
             return
         if run.done:
             return
         if execution.command.must:
-            self.abort(run, f"must-command unreachable "
-                            f"(device {execution.command.device_id})")
+            self.request_abort(run, f"must-command unreachable "
+                                    f"(device {execution.command.device_id})")
         else:
             on_done(run, execution)
+
+    def _on_execution_resolved(self, run: RoutineRun,
+                               execution: CommandExecution) -> None:
+        """Hook: an execution finished, was skipped or timed out (runs
+        on every resolution path; the execution engine frees the
+        per-device FIFO slot here)."""
 
     def _on_write_applied(self, run: RoutineRun,
                           execution: CommandExecution) -> None:

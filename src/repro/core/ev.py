@@ -19,12 +19,12 @@ the *end state* equals some serial execution of the committed routines
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.command import CommandExecution
+from repro.core.command import Command, CommandExecution
 from repro.core.controller import RoutineRun, RoutineStatus
+from repro.core.execution.engine import PlanExecutionMixin
 from repro.core.lineage import (UNSET, Gap, LineageTable, LockAccess,
                                 LockStatus)
 from repro.core.routine import LockRequest
-from repro.core.sequential_mixin import SequentialExecutionMixin
 from repro.errors import SchedulingError
 from repro.sim.events import Event
 
@@ -46,7 +46,7 @@ class Placement:
                 f"t={self.planned_start:g}+{self.duration:g})")
 
 
-class EventualVisibilityController(SequentialExecutionMixin):
+class EventualVisibilityController(PlanExecutionMixin):
     """Lineage-table based controller implementing EV."""
 
     model_name = "ev"
@@ -220,6 +220,11 @@ class EventualVisibilityController(SequentialExecutionMixin):
 
     def _pump(self, run: RoutineRun) -> None:
         """Advance a routine if its next command's lock is available."""
+        if self._parallel_enabled():
+            # The plan dispatcher issues every ready command whose
+            # lineage entry is acquirable (see _claim_device).
+            self._dispatch(run)
+            return
         if run.done or run.inflight:
             return
         if run.next_index >= len(run.commands):
@@ -247,9 +252,27 @@ class EventualVisibilityController(SequentialExecutionMixin):
             self._pump(run)
 
     def _run_next(self, run: RoutineRun) -> None:
-        # SequentialExecutionMixin calls this after each command; in EV
+        # The execution engine calls this after each command; in EV
         # advancement is lock-gated, so route through the pump.
         self._pump(run)
+
+    def _claim_device(self, run: RoutineRun, command: Command) -> bool:
+        """Parallel-dispatch gate: a command may issue once its device's
+        lineage entry is ACQUIRED (acquiring it now if it is this
+        routine's turn on the device)."""
+        lineage = self.table.lineage(command.device_id)
+        entry = lineage.entry_for(run.routine_id)
+        if entry is None:
+            return False    # not placed yet (JiT keeps it queued)
+        if entry.status is LockStatus.SCHEDULED:
+            if not lineage.can_acquire(run.routine_id,
+                                       finished=self.is_finished,
+                                       wants_read=entry.reads):
+                return False
+            lineage.acquire(run.routine_id, self.sim.now)
+            if entry.pre_leased:
+                self._arm_revocation(run, entry)
+        return entry.status is LockStatus.ACQUIRED
 
     def _on_write_applied(self, run: RoutineRun,
                           execution: CommandExecution) -> None:

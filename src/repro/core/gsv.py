@@ -1,22 +1,26 @@
 """Global Strict Visibility (GSV) and Strong GSV (§2.1, §3).
 
 GSV executes at most one routine at a time, presenting a single
-serialized home at every point in time.  Failure serialization (§3):
-if a device failure or restart event is detected while a routine is
-executing, the routine aborts —
+serialized home at every point in time.  The one-at-a-time rule is an
+exclusive lock on the :data:`~repro.core.execution.locks.GLOBAL`
+pseudo-resource of the shared lock table: arrivals acquire it FIFO, so
+the policy here reduces to "hold the home lock for the whole routine".
+Failure serialization (§3): if a device failure or restart event is
+detected while a routine is executing, the routine aborts —
 
 * **GSV (loose)**: only when the routine touches the failed/restarted
   device;
 * **S-GSV (strong)**: on *any* device's failure/restart event.
 """
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.controller import RoutineRun, RoutineStatus
-from repro.core.sequential_mixin import SequentialExecutionMixin
+from repro.core.execution.engine import PlanExecutionMixin
+from repro.core.execution.locks import GLOBAL
 
 
-class GlobalStrictVisibilityController(SequentialExecutionMixin):
+class GlobalStrictVisibilityController(PlanExecutionMixin):
     """One routine at a time, FIFO; loose failure serialization."""
 
     model_name = "gsv"
@@ -24,31 +28,22 @@ class GlobalStrictVisibilityController(SequentialExecutionMixin):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._queue: List[RoutineRun] = []
         self._current: Optional[RoutineRun] = None
 
     def _arrive(self, run: RoutineRun) -> None:
         run.status = RoutineStatus.WAITING
-        self._queue.append(run)
-        self._maybe_start()
+        if self._admit_with_locks(run, (GLOBAL,)):
+            self._start_admitted(run)
 
-    def _maybe_start(self) -> None:
-        if self._current is not None and not self._current.done:
-            return
-        self._current = None
-        while self._queue:
-            run = self._queue.pop(0)
-            if run.done:
-                continue
-            self._current = run
-            self._begin(run)
-            self._run_next(run)
-            return
+    def _start_admitted(self, run: RoutineRun) -> None:
+        self._current = run
+        self._begin(run)
+        self._run_next(run)
 
     def _policy_after_finish(self, run: RoutineRun) -> None:
         if run is self._current:
             self._current = None
-        self._maybe_start()
+        self._release_admission_locks(run)
 
     def _abort_current_if_affected(self, device_id: int,
                                    event: str) -> None:

@@ -21,8 +21,8 @@ from typing import Any, Dict, List, Set
 
 from repro.core.command import CommandExecution
 from repro.core.controller import RoutineRun, RoutineStatus
+from repro.core.execution.engine import PlanExecutionMixin
 from repro.core.routine import Routine
-from repro.core.sequential_mixin import SequentialExecutionMixin
 from repro.core.lineage import UNSET
 
 
@@ -35,7 +35,7 @@ class CommitRecord:
     write_set: frozenset
 
 
-class OptimisticController(SequentialExecutionMixin):
+class OptimisticController(PlanExecutionMixin):
     """Lock-free execution with finish-point validation."""
 
     model_name = "occ"

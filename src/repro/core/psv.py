@@ -1,65 +1,51 @@
 """Partitioned Strict Visibility (PSV) (§2.1, §3).
 
 Non-conflicting routines run concurrently; conflicting routines are
-serialized in arrival order.  Failure serialization modifies Eventual
-Visibility's rules with condition 3* (§3): a failure after the
-routine's last touch of a device is serializable *only if the device
-has recovered by the routine's finish point* — otherwise the routine
-aborts at its finish point (which is why PSV's rollback overhead is
-high, §7.4).
+serialized in arrival order.  Admission is expressed against the shared
+lock table: a routine atomically requests an exclusive lock on every
+device it touches at arrival, starting when all are granted.  FIFO wait
+queues reproduce the old blocked-set scan exactly — a waiting routine's
+devices block later conflicting arrivals, and grants cascade in arrival
+order when a routine finishes.  Because each arrival requests its whole
+footprint atomically, wait-for edges always point at earlier arrivals
+and admission is deadlock-free by construction.
+
+Failure serialization modifies Eventual Visibility's rules with
+condition 3* (§3): a failure after the routine's last touch of a device
+is serializable *only if the device has recovered by the routine's
+finish point* — otherwise the routine aborts at its finish point (which
+is why PSV's rollback overhead is high, §7.4).
 """
 
-from typing import List, Set
+from typing import List
 
 from repro.core.controller import RoutineRun, RoutineStatus
-from repro.core.sequential_mixin import SequentialExecutionMixin
+from repro.core.execution.engine import PlanExecutionMixin
 
 
-class PartitionedStrictVisibilityController(SequentialExecutionMixin):
+class PartitionedStrictVisibilityController(PlanExecutionMixin):
     """Conflict-serialized execution with finish-point failure checks."""
 
     model_name = "psv"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._queue: List[RoutineRun] = []
         self._running: List[RoutineRun] = []
 
     def _arrive(self, run: RoutineRun) -> None:
         run.status = RoutineStatus.WAITING
-        self._queue.append(run)
-        self._maybe_start()
+        if self._admit_with_locks(run, run.routine.device_ids):
+            self._start_admitted(run)
 
-    def _maybe_start(self) -> None:
-        """Start every queued routine that conflicts with nothing ahead.
-
-        A waiting routine must not overtake an earlier-queued routine it
-        conflicts with, otherwise conflicting routines would not be
-        serialized in arrival order.
-        """
-        blocked: Set[int] = set()
-        for run in self._running:
-            if not run.done:
-                blocked |= run.routine.device_set
-        still_waiting: List[RoutineRun] = []
-        for run in list(self._queue):
-            if run.done:
-                continue
-            devices = run.routine.device_set
-            if devices & blocked:
-                still_waiting.append(run)
-                blocked |= devices
-                continue
-            self._running.append(run)
-            self._begin(run)
-            self._run_next(run)
-            blocked |= devices
-        self._queue = still_waiting
+    def _start_admitted(self, run: RoutineRun) -> None:
+        self._running.append(run)
+        self._begin(run)
+        self._run_next(run)
 
     def _policy_after_finish(self, run: RoutineRun) -> None:
         if run in self._running:
             self._running.remove(run)
-        self._maybe_start()
+        self._release_admission_locks(run)
 
     # -- failure serialization (EV rules with condition 3*) ------------------
 

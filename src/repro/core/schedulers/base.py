@@ -30,12 +30,20 @@ class Scheduler:
 
     # -- helpers ----------------------------------------------------------------------
 
+    def chains_devices(self) -> bool:
+        """Serial plans execute a routine's per-device accesses
+        back-to-back, so placement estimates chain each access after
+        the previous one; parallel plans start every device's chain at
+        routine start, so estimates must not chain."""
+        return self.controller.config.execution != "parallel"
+
     def tail_placements(self, run: RoutineRun) -> List[Placement]:
         """Append-to-tail placement: serialization after every current
         access (the FCFS placement; also every scheduler's fallback)."""
         controller = self.controller
         now = controller.sim.now
         placements: List[Placement] = []
+        chain = self.chains_devices()
         earliest = now
         estimator = controller.routine_end_estimator()
         for request in run.routine.lock_requests():
@@ -45,5 +53,6 @@ class Scheduler:
             start = tail_gap.placement(earliest)
             placements.append(Placement(request, tail_gap.index,
                                         start, duration))
-            earliest = start + duration
+            if chain:
+                earliest = start + duration
         return placements

@@ -69,6 +69,7 @@ class JiTScheduler(Scheduler):
         post: set = set()
         placements: List[Placement] = []
         now = controller.sim.now
+        chain = self.chains_devices()
         earliest = now
         for request in run.routine.lock_requests():
             lineage = controller.table.lineage(request.device_id)
@@ -103,5 +104,6 @@ class JiTScheduler(Scheduler):
             duration = controller.estimate_duration(run, request)
             placements.append(
                 Placement(request, index, earliest, duration))
-            earliest += duration
+            if chain:
+                earliest += duration
         return placements

@@ -63,6 +63,7 @@ class TimelineScheduler(Scheduler):
 
         closures = controller.closure_sets()
         assignment: List[Optional[Placement]] = [None] * len(requests)
+        chain = self.chains_devices()
 
         def schedule(index: int, earliest: float,
                      pre: set, post: set) -> bool:
@@ -83,7 +84,8 @@ class TimelineScheduler(Scheduler):
                     continue  # serialization violated: try next gap
                 assignment[index] = Placement(request, gap.index,
                                               start, duration)
-                if schedule(index + 1, start + duration,
+                if schedule(index + 1,
+                            start + duration if chain else earliest,
                             cur_pre, cur_post):
                     return True
                 assignment[index] = None

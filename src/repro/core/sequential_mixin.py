@@ -1,51 +1,14 @@
-"""Shared sequential command-chain execution.
+"""Backward-compatible alias for the execution core's serial strategy.
 
-Every visibility model executes a routine's commands strictly in order;
-they differ in *when* a routine may start/advance and in failure policy.
-This mixin provides the chain: ``_run_next`` issues the next command and
-``_after_command`` performs per-device completion bookkeeping before
-looping.
+The sequential command chain that used to live here is now the
+``serial`` plan strategy of :class:`repro.core.execution.engine.
+PlanExecutionMixin` (bit-compatible: same event order, same labels,
+same bookkeeping).  The name is kept so external code and older tests
+importing ``SequentialExecutionMixin`` keep working.
 """
 
-from typing import Optional
-
-from repro.core.command import CommandExecution
-from repro.core.controller import Controller, RoutineRun
+from repro.core.execution.engine import PlanExecutionMixin
 
 
-class SequentialExecutionMixin(Controller):
-    """Drives ``run.next_index`` through the routine's command list."""
-
-    def _run_next(self, run: RoutineRun) -> None:
-        if run.done or run.inflight:
-            return
-        if run.next_index >= len(run.commands):
-            self._finish_point(run)
-            return
-        command = run.commands[run.next_index]
-        run.next_index += 1
-        self._issue_command(run, command, self._after_command)
-
-    def _after_command(self, run: RoutineRun,
-                       execution: CommandExecution) -> None:
-        device_id = execution.command.device_id
-        if self._last_index_on_device(run, device_id) < run.next_index:
-            self.record_last_access(run, device_id)
-            self._on_device_access_done(run, device_id)
-        self._run_next(run)
-
-    @staticmethod
-    def _last_index_on_device(run: RoutineRun, device_id: int) -> int:
-        last = -1
-        for index, command in enumerate(run.commands):
-            if command.device_id == device_id:
-                last = index
-        return last
-
-    def _finish_point(self, run: RoutineRun) -> None:
-        """All commands processed; default is to commit immediately."""
-        self.commit(run)
-
-    def _on_device_access_done(self, run: RoutineRun,
-                               device_id: int) -> None:
-        """Hook: EV releases the virtual lock (post-lease) here."""
+class SequentialExecutionMixin(PlanExecutionMixin):
+    """Deprecated alias: the serial strategy of the execution core."""

@@ -4,14 +4,18 @@ Routines execute as they arrive, as quickly as possible, with no
 isolation, no atomicity and no failure serialization.  Unreachable
 commands are silently skipped (best-effort), which is how current hubs
 behave and why Fig 1/Fig 12b show incongruent end states.
+
+WV takes no locks even under the ``parallel`` plan strategy — only the
+per-device FIFO of the execution core serializes simultaneous writes to
+one device, which mirrors how a real hub's device driver behaves.
 """
 
 from repro.core.command import CommandExecution
 from repro.core.controller import RoutineRun
-from repro.core.sequential_mixin import SequentialExecutionMixin
+from repro.core.execution.engine import PlanExecutionMixin
 
 
-class WeakVisibilityController(SequentialExecutionMixin):
+class WeakVisibilityController(PlanExecutionMixin):
     """No locks, no serialization: every routine runs immediately."""
 
     model_name = "wv"
@@ -27,7 +31,8 @@ class WeakVisibilityController(SequentialExecutionMixin):
         # routine barrels on.
         execution.finished_at = self.sim.now
         execution.skipped = True
-        run.inflight = False
+        run.inflight_count -= 1
+        self._on_execution_resolved(run, execution)
         if run.done:
             return
         on_done(run, execution)

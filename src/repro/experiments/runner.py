@@ -28,6 +28,7 @@ class ExperimentSetup:
 
     model: Union[str, VisibilityModel] = "ev"
     scheduler: str = "timeline"
+    execution: Optional[str] = None     # None = keep config's strategy
     config: Optional[ControllerConfig] = None
     latency: LatencyModel = field(default_factory=LatencyModel)
     seed: int = 0
@@ -38,6 +39,8 @@ class ExperimentSetup:
     def make_config(self) -> ControllerConfig:
         config = self.config or ControllerConfig()
         config = replace(config, scheduler=self.scheduler)
+        if self.execution is not None:
+            config = replace(config, execution=self.execution)
         return config
 
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.fleet.seeding import SeedSplitter
-from repro.fleet.sharding import (DEFAULT_CHECK_FINAL,
+from repro.fleet.sharding import (DEFAULT_CHECK_FINAL, DEFAULT_EXECUTION,
                                   DEFAULT_EXHAUSTIVE_LIMIT,
                                   DEFAULT_MAX_EVENTS, DEFAULT_MODEL,
                                   DEFAULT_SCHEDULER, HomeSpec, Shard,
@@ -78,6 +78,7 @@ class FleetConfig:
     mix: Tuple[str, ...] = DEFAULT_MIX
     model: str = DEFAULT_MODEL
     scheduler: str = DEFAULT_SCHEDULER
+    execution: str = DEFAULT_EXECUTION
     backend: str = "serial"
     workers: int = 0                # 0 = one per CPU (capped at homes)
     check_final: bool = DEFAULT_CHECK_FINAL
@@ -122,6 +123,10 @@ class FleetResult:
             },
             "aggregate": self.aggregate,
         }
+        if self.config.execution != DEFAULT_EXECUTION:
+            # Included only when non-default so default fleet reports
+            # stay byte-identical to pre-execution-core output.
+            payload["fleet"]["execution"] = self.config.execution
         if per_home:
             payload["homes"] = [
                 {key: value for key, value in row.items()
@@ -155,6 +160,7 @@ class FleetEngine:
                 seed=self.splitter.for_home(home_id),
                 model=config.model,
                 scheduler=config.scheduler,
+                execution=config.execution,
                 check_final=config.check_final,
                 exhaustive_limit=config.exhaustive_limit,
                 max_events=config.max_events,

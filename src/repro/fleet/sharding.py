@@ -15,6 +15,7 @@ from typing import List, Sequence, Tuple
 # bare HomeSpec and a fleet-derived one can never drift apart.
 DEFAULT_MODEL = "ev"
 DEFAULT_SCHEDULER = "timeline"
+DEFAULT_EXECUTION = "serial"
 DEFAULT_CHECK_FINAL = True
 DEFAULT_EXHAUSTIVE_LIMIT = 7
 DEFAULT_MAX_EVENTS = 5_000_000
@@ -29,6 +30,7 @@ class HomeSpec:
     seed: int
     model: str = DEFAULT_MODEL
     scheduler: str = DEFAULT_SCHEDULER
+    execution: str = DEFAULT_EXECUTION
     check_final: bool = DEFAULT_CHECK_FINAL
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT
     max_events: int = DEFAULT_MAX_EVENTS

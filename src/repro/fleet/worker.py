@@ -24,7 +24,7 @@ def run_home(spec: HomeSpec) -> Dict[str, Any]:
     """
     workload = build_fleet_workload(spec.scenario, seed=spec.seed)
     home = SafeHome(visibility=spec.model, scheduler=spec.scheduler,
-                    seed=spec.seed)
+                    execution=spec.execution, seed=spec.seed)
     home.load_workload(workload)
     result = home.run(max_events=spec.max_events)
     report = home.report(check_final=spec.check_final,

@@ -31,6 +31,7 @@ class TriggerFiring:
     time: float
     routine_name: str
     run: Optional[RoutineRun]
+    kind: str = "user"      # user | timed | state | event
 
 
 class Dispatcher:
@@ -48,13 +49,18 @@ class Dispatcher:
     # -- invocation -------------------------------------------------------------
 
     def invoke(self, routine_name: str,
-               trigger_name: str = "user") -> RoutineRun:
+               trigger_name: str = "user",
+               kind: str = "user") -> RoutineRun:
         routine = self.bank.instantiate(routine_name)
         routine.trigger = trigger_name
         run = self.controller.submit(routine)
         self.firings.append(TriggerFiring(trigger_name, self.sim.now,
-                                          routine_name, run))
+                                          routine_name, run, kind=kind))
         return run
+
+    def firings_of_kind(self, kind: str) -> List[TriggerFiring]:
+        """Audit helper: every firing of one trigger kind."""
+        return [firing for firing in self.firings if firing.kind == kind]
 
     def disarm(self) -> None:
         """Stop all future trigger firings (end of simulation)."""
@@ -81,7 +87,7 @@ class Dispatcher:
             nonlocal remaining
             if not self._armed or remaining == 0:
                 return
-            self.invoke(routine_name, trigger_name)
+            self.invoke(routine_name, trigger_name, kind="timed")
             if remaining > 0:
                 remaining -= 1
             if remaining != 0:
@@ -109,7 +115,8 @@ class Dispatcher:
                 # Defer to an event so the invocation does not nest
                 # inside the device write that triggered it.
                 self.sim.call_after(0.0, self.invoke, routine_name,
-                                    trigger_name, label=trigger_name)
+                                    trigger_name, "state",
+                                    label=trigger_name)
 
         device.watch(watcher)
 
@@ -135,7 +142,8 @@ class Dispatcher:
             if self._armed and (device_id is None
                                 or detected_id == device_id):
                 self.sim.call_after(0.0, self.invoke, routine_name,
-                                    trigger_name, label=trigger_name)
+                                    trigger_name, "event",
+                                    label=trigger_name)
 
         if kind == "failure":
             controller._policy_on_failure = hook

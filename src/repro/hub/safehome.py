@@ -45,6 +45,7 @@ class SafeHome:
     def __init__(self,
                  visibility: Union[str, VisibilityModel] = "ev",
                  scheduler: str = "timeline",
+                 execution: Optional[str] = None,
                  config: Optional[ControllerConfig] = None,
                  latency: Optional[LatencyModel] = None,
                  seed: int = 0,
@@ -57,6 +58,10 @@ class SafeHome:
             latency=latency or LatencyModel(), streams=self.streams)
         self.config = config or ControllerConfig()
         self.config.scheduler = scheduler
+        if execution is not None:
+            # "serial" (bit-compatible command chain) or "parallel"
+            # (command-DAG dispatch; see docs/execution-model.md).
+            self.config.execution = execution
         self.controller = make_controller(
             visibility, self.sim, self.registry, self.driver, self.config)
         self.detector = FailureDetector(

@@ -29,6 +29,13 @@ class MetricsReport:
     rollback_overhead_mean: float
     order_mismatch: float
     serial_order: List[int] = field(default_factory=list)
+    # Execution-core breakdowns (added with core/execution/): per-plan
+    # makespan (first command start → finish, committed runs) and
+    # lock-wait seconds (ready-but-blocked command time plus lock-table
+    # admission waits).  Not part of row() so legacy tables/reports stay
+    # byte-identical.
+    plan_makespan: Dict[str, float] = field(default_factory=dict)
+    lock_wait: Dict[str, float] = field(default_factory=dict)
 
     def row(self) -> Dict[str, Any]:
         """Flat dict for table printing."""
@@ -135,4 +142,8 @@ def analyze(result: RunResult, initial: Dict[int, Any],
         rollback_overhead_mean=mean(overheads),
         order_mismatch=mismatch,
         serial_order=serial_order,
+        plan_makespan=summarize([
+            run.finish_time - run.start_time for run in result.committed
+            if run.start_time is not None and run.finish_time is not None]),
+        lock_wait=summarize([run.lock_wait_s for run in result.runs]),
     )

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 from repro.devices.failures import FailurePlan
 from repro.sim.random import RandomStreams
 from repro.workloads.base import Workload
+from repro.workloads.fanout import fanout_scenario
 from repro.workloads.scenarios import (_routine, factory_scenario,
                                        morning_scenario, party_scenario)
 
@@ -98,6 +99,7 @@ def factory_line_scenario(seed: int = 0) -> Workload:
 
 #: Scenario registry used by the fleet engine: name → factory(seed).
 FLEET_SCENARIOS: Dict[str, Callable[[int], Workload]] = {
+    "fanout": lambda seed: fanout_scenario(seed=seed),
     "morning": lambda seed: morning_scenario(seed=seed),
     "party": lambda seed: party_scenario(seed=seed),
     "factory": lambda seed: factory_scenario(seed=seed),

@@ -3,15 +3,16 @@
 import pytest
 
 from repro.core.command import Command
-from repro.core.controller import RoutineStatus
+from repro.core.controller import ControllerConfig, RoutineStatus
 from repro.core.routine import Routine
 from repro.hub.dispatcher import Dispatcher
 from repro.hub.routine_bank import RoutineBank
 from tests.conftest import Home
 
 
-def make_stack(model="ev", n_devices=3):
-    home = Home(model=model, n_devices=n_devices)
+def make_stack(model="ev", n_devices=3, execution="serial"):
+    home = Home(model=model, n_devices=n_devices,
+                config=ControllerConfig(execution=execution))
     bank = RoutineBank()
     dispatcher = Dispatcher(home.sim, home.registry, bank,
                             home.controller)
@@ -105,6 +106,75 @@ class TestStateTriggers:
         home.submit(simple("c", device=0, value="X"), when=10.0)
         home.run()
         assert len(dispatcher.firings) == 2
+
+
+class TestTriggerKindsAcrossStrategies:
+    """All three trigger kinds interleaving, under both execution
+    strategies, including disarm while routines are mid-flight."""
+
+    def build(self, execution, model="ev"):
+        home, bank, dispatcher = make_stack(model=model, n_devices=4,
+                                            execution=execution)
+        # A wide routine the timer fires repeatedly...
+        bank.register(Routine(name="sweep", commands=[
+            Command(device_id=0, value="ON", duration=3.0),
+            Command(device_id=1, value="ON", duration=3.0),
+        ]))
+        # ...a state-triggered follow-up...
+        bank.register(simple("follow", device=2, value="SEEN",
+                             duration=1.0))
+        # ...and an event-triggered (failure-detection) alert.
+        bank.register(simple("alert", device=3, value="ALERT",
+                             duration=0.5))
+        dispatcher.every("sweep", period=10.0, start_at=0.0, count=4)
+        dispatcher.when_state("plug-1", "ON", "follow", once=False)
+        dispatcher.on_detection("failure", "alert")
+        return home, bank, dispatcher
+
+    @pytest.mark.parametrize("execution", ["serial", "parallel"])
+    def test_kinds_interleave(self, execution):
+        home, _bank, dispatcher = self.build(execution)
+        home.detect_failure(3, at=12.0)
+        home.detect_restart(3, at=13.0)
+        home.run()
+        kinds = {f.kind for f in dispatcher.firings}
+        assert kinds == {"timed", "state", "event"}
+        assert len(dispatcher.firings_of_kind("timed")) == 4
+        # Each sweep writes plug-1 → ON, so every sweep fires follow.
+        assert len(dispatcher.firings_of_kind("state")) == 4
+        assert len(dispatcher.firings_of_kind("event")) == 1
+        # Trigger-initiated routines flow through the controller: they
+        # commit under the active strategy.
+        assert all(f.run.status is RoutineStatus.COMMITTED
+                   for f in dispatcher.firings
+                   if f.routine_name == "sweep")
+
+    @pytest.mark.parametrize("execution", ["serial", "parallel"])
+    def test_disarm_mid_flight(self, execution):
+        home, _bank, dispatcher = self.build(execution)
+        # Disarm while the second sweep is still executing (t=10..16):
+        # no further timed/state firings, but the in-flight routine
+        # finishes under concurrency control.
+        home.sim.call_at(11.0, dispatcher.disarm)
+        home.run()
+        timed = dispatcher.firings_of_kind("timed")
+        assert len(timed) == 2
+        assert all(f.run.status is RoutineStatus.COMMITTED
+                   for f in timed)
+
+    @pytest.mark.parametrize("execution", ["serial", "parallel"])
+    def test_parallel_sweep_still_serialized_with_user_routine(
+            self, execution):
+        home, _bank, dispatcher = self.build(execution)
+        # A user routine conflicting on device 0 arrives mid-sweep.
+        user = home.submit(simple("user-op", device=0, value="OFF",
+                                  duration=1.0), when=1.0)
+        home.run()
+        assert user.status is RoutineStatus.COMMITTED
+        from repro.metrics.congruence import final_state_serializable
+        from repro.core.controller import RunResult
+        result = RunResult.from_controller(home.controller)
+        assert final_state_serializable(result, home.initial)
 
 
 class TestDetectionTriggers:
