@@ -1,0 +1,131 @@
+"""Hub recovery time vs. WAL length and checkpoint interval.
+
+Recovery is verified deterministic replay (docs/durability.md), so its
+cost scales with how much history must be re-executed and re-checked:
+
+* **WAL length** — scaled here by repeating the chaos workload's
+  routine set N times before crashing at the very end, so the replayed
+  event count grows linearly;
+* **checkpoint interval** — more frequent checkpoints mean more digest
+  captures during normal execution and more digests to verify during
+  recovery, but (with compaction) a shorter observation suffix to
+  compare record-by-record.
+
+Run standalone for the JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py
+
+or under pytest-benchmark for calibrated timings::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py
+"""
+
+import argparse
+import json
+
+import pytest
+
+try:
+    from benchmarks.conftest import run_once
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_....py
+    run_once = None
+from repro.hub.durability import DurabilityConfig
+from repro.hub.safehome import SafeHome
+from repro.workloads.chaos import chaos_workload
+
+REPEATS = (1, 2, 4, 8)
+CHECKPOINT_INTERVALS = (8, 32, 128, 0)   # 0 = checkpoints disabled
+
+
+def build_home(repeats: int, checkpoint_every: int = 32,
+               compact: bool = False, seed: int = 7) -> SafeHome:
+    """A durable EV home running `repeats` copies of the chaos scene."""
+    home = SafeHome(visibility="ev", seed=seed,
+                    durability=DurabilityConfig(
+                        checkpoint_every=checkpoint_every,
+                        compact_on_checkpoint=compact))
+    workload = chaos_workload(seed)
+    home.load_workload(workload)
+    # Stack additional rounds of the same routines, shifted in time, so
+    # the WAL grows linearly with `repeats`.
+    for round_index in range(1, repeats):
+        offset = 20.0 * round_index
+        for routine, at in workload.arrivals:
+            home.invoke(routine, at=at + offset)
+    return home
+
+
+def crash_and_recover(repeats: int, checkpoint_every: int = 32,
+                      compact: bool = False):
+    """Run to near-completion, crash, recover; return (home, report)."""
+    probe = build_home(repeats, checkpoint_every, compact)
+    probe.run()
+    total_events = probe.sim.events_processed
+
+    home = build_home(repeats, checkpoint_every, compact)
+    home.crash(after_events=max(1, total_events - 1))
+    home.run()
+    report = home.recover()
+    home.run()
+    return home, report
+
+
+def bench_rows(repeats_list=REPEATS, intervals=CHECKPOINT_INTERVALS):
+    rows = []
+    for repeats in repeats_list:
+        _home, report = crash_and_recover(repeats)
+        rows.append({
+            "sweep": "wal-length",
+            "repeats": repeats,
+            "checkpoint_every": 32,
+            "wal_records": report.wal_records,
+            "replayed_events": report.replayed_events,
+            "replayed_records": report.replayed_records,
+            "checkpoints_verified": report.checkpoints_verified,
+            "recovery_ms": round(report.wall_s * 1e3, 3),
+        })
+    for interval in intervals:
+        _home, report = crash_and_recover(
+            4, checkpoint_every=interval, compact=bool(interval))
+        rows.append({
+            "sweep": "checkpoint-interval",
+            "repeats": 4,
+            "checkpoint_every": interval,
+            "wal_records": report.wal_records,
+            "replayed_events": report.replayed_events,
+            "replayed_records": report.replayed_records,
+            "checkpoints_verified": report.checkpoints_verified,
+            "recovery_ms": round(report.wall_s * 1e3, 3),
+        })
+    return rows
+
+
+@pytest.mark.parametrize("repeats", REPEATS)
+def test_recovery_scales_with_wal(benchmark, repeats):
+    _home, report = run_once(benchmark, crash_and_recover, repeats)
+    assert report.replayed_events > 0
+    assert report.wal_records > 0
+
+
+def test_recovery_replay_lengths_grow():
+    """More history ⇒ more replayed events (the WAL-length axis)."""
+    lengths = [crash_and_recover(n)[1].replayed_events for n in (1, 4)]
+    assert lengths[1] > lengths[0]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default="",
+                        help="also write the rows to this path")
+    args = parser.parse_args()
+    rows = bench_rows()
+    payload = json.dumps({"recovery": rows}, indent=2, sort_keys=True)
+    print(payload)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,14 @@ echo "== doctests in docs code blocks =="
 echo "doctests OK"
 
 echo
+echo "== markdown links and anchors =="
+"$PY" scripts/check_links.py
+
+echo
+echo "== CLI reference drift (docs/cli.md) =="
+"$PY" scripts/gen_cli_docs.py --check
+
+echo
 echo "== determinism gate (serial + parallel execution) =="
 DET_DIR="$(mktemp -d)"
 trap 'rm -rf "$DET_DIR"' EXIT
@@ -26,6 +34,22 @@ for exec_mode in serial parallel; do
         --json "$DET_DIR/b.json" >/dev/null
     cmp "$DET_DIR/a.json" "$DET_DIR/b.json"
     echo "execution=$exec_mode deterministic"
+done
+
+echo
+echo "== crash-recovery gate (durable hub, chaos workload) =="
+for exec_mode in serial parallel; do
+    "$PY" -m repro crash-recovery --model ev --execution "$exec_mode" \
+        --seed 3 --crashes 2 --json "$DET_DIR/ra.json" >/dev/null 2>&1
+    "$PY" -m repro crash-recovery --model ev --execution "$exec_mode" \
+        --seed 3 --crashes 2 --json "$DET_DIR/rb.json" >/dev/null 2>&1
+    cmp "$DET_DIR/ra.json" "$DET_DIR/rb.json"
+    "$PY" - "$DET_DIR/ra.json" <<'PYEOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["congruent"] is True, "replay recovery diverged"
+PYEOF
+    echo "execution=$exec_mode crash-recovery congruent + deterministic"
 done
 
 echo

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker for README.md and docs/*.md.
+
+Every intra-repo link must resolve: relative paths must exist on disk,
+and ``#anchors`` into markdown files must match a heading (GitHub's
+slug rules: lowercase, punctuation stripped, spaces to hyphens).
+External links (http/https/mailto) are not fetched.
+
+Usage::
+
+    python scripts/check_links.py            # exit 1 on any broken link
+    python scripts/check_links.py --verbose  # also list every checked link
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _rel(path: Path) -> Path:
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)   # drop punctuation, keep - and _
+    return text.replace(" ", "-")
+
+
+def _fenced_filter(lines: List[str]) -> List[str]:
+    """Lines with fenced code blocks blanked out (no headings/links there)."""
+    out, fenced = [], False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            out.append("")
+            continue
+        out.append("" if fenced else line)
+    return out
+
+
+def headings_of(path: Path) -> Set[str]:
+    slugs: Dict[str, int] = {}
+    for line in _fenced_filter(path.read_text().splitlines()):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        # GitHub de-duplicates repeated headings with -1, -2, ...
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        if count:
+            slugs[f"{slug}-{count}"] = 1
+    return set(slugs)
+
+
+def links_of(path: Path) -> List[Tuple[str, str]]:
+    links = []
+    for line in _fenced_filter(path.read_text().splitlines()):
+        for match in LINK_RE.finditer(line):
+            links.append((match.group(1), match.group(2)))
+    return links
+
+
+def check_file(path: Path, verbose: bool = False) -> List[str]:
+    errors = []
+    for text, target in links_of(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, anchor = target.partition("#")
+        resolved = path if not raw_path \
+            else (path.parent / raw_path).resolve()
+        if verbose:
+            print(f"  {_rel(path)}: [{text}]({target})")
+        if raw_path and not resolved.exists():
+            errors.append(f"{_rel(path)}: broken link "
+                          f"[{text}]({target}) — no such file")
+            continue
+        if anchor:
+            if resolved.suffix != ".md":
+                continue   # anchors into non-markdown are out of scope
+            if anchor not in headings_of(resolved):
+                errors.append(
+                    f"{_rel(path)}: broken anchor "
+                    f"[{text}]({target}) — no heading "
+                    f"#{anchor} in {resolved.name}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+    errors: List[str] = []
+    files = markdown_files()
+    for path in files:
+        errors.extend(check_file(path, verbose=args.verbose))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"all intra-repo links resolve ({len(files)} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

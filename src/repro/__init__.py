@@ -31,7 +31,7 @@ from repro.core.routine import Routine, sequential
 from repro.core.visibility import VisibilityModel, make_controller
 from repro.hub.safehome import SafeHome
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SafeHome",

@@ -12,6 +12,10 @@ Commands:
 * ``fleet --homes N --seed S`` — simulate a fleet of N independent
   homes across a worker pool and print deterministic aggregate
   metrics JSON (see :mod:`repro.fleet`).
+* ``crash-recovery`` — run the hub-crash chaos workload on a durable
+  hub: crash at seeded points (or ``--crash-at`` / ``--crash-event``),
+  recover from checkpoint + WAL, and compare the final report against
+  an uninterrupted run (see docs/durability.md).
 """
 
 import argparse
@@ -146,7 +150,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         model=args.model, scheduler=args.scheduler,
         execution=args.execution,
         backend=args.backend, workers=args.workers,
-        check_final=not args.no_check_final)
+        check_final=not args.no_check_final,
+        crashes=args.crashes, recovery=args.recovery)
     try:
         result = FleetEngine(config).run()
     except ValueError as error:
@@ -163,6 +168,50 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               f"({result.homes_per_second:.1f} homes/sec, "
               f"backend={config.backend}, "
               f"workers={config.effective_workers()})", file=sys.stderr)
+    return 0
+
+
+def cmd_crash_recovery(args: argparse.Namespace) -> int:
+    from repro.metrics.recovery import recovery_wall_summary
+    from repro.workloads.chaos import run_chaos
+
+    if args.crash_at is not None and args.crash_event is not None:
+        print("--crash-at and --crash-event are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.crash_event is not None and args.crash_event < 1:
+        print("--crash-event must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        result = run_chaos(
+            model=args.model, execution=args.execution or "serial",
+            seed=args.seed, crashes=args.crashes, recovery=args.recovery,
+            checkpoint_every=args.checkpoint_every,
+            crash_at=args.crash_at, crash_event=args.crash_event)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    rows = [dict(recovery, congruent=result.congruent)
+            for recovery in result.recoveries] or \
+        [{"congruent": result.congruent, "mode": result.recovery_mode}]
+    print_table(
+        f"hub crash-recovery: {args.model}/{result.execution} "
+        f"({result.recovery_mode} mode)",
+        [{key: row.get(key) for key in
+          ("mode", "crash_events", "replayed_events", "replayed_records",
+           "checkpoints_verified", "resumed", "aborted", "congruent")}
+         for row in rows])
+    walls = recovery_wall_summary(result.recovery_wall_s)
+    print(f"recovery wall-clock: mean {walls['mean'] * 1e3:.2f} ms, "
+          f"max {walls['max'] * 1e3:.2f} ms over {walls['n']} recoveries",
+          file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+    if args.recovery == "replay" and not result.congruent:
+        print("FAIL: replay recovery diverged from the uninterrupted run",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -223,6 +272,34 @@ def build_parser() -> argparse.ArgumentParser:
     ablate.add_argument("--trials", type=int, default=4)
     ablate.set_defaults(func=cmd_ablations)
 
+    crash = sub.add_parser(
+        "crash-recovery",
+        help="crash the hub mid-run and recover from checkpoint + WAL")
+    crash.add_argument("--model", default="ev")
+    crash.add_argument("--execution", default=None,
+                       choices=("serial", "parallel"),
+                       help="command-plan strategy (default: serial)")
+    crash.add_argument("--seed", type=int, default=0)
+    crash.add_argument("--crashes", type=int, default=2,
+                       help="seeded crash points per run (default: 2)")
+    crash.add_argument("--crash-at", type=float, default=None,
+                       help="single crash at this virtual time "
+                            "(overrides --crashes)")
+    crash.add_argument("--crash-event", type=int, default=None,
+                       help="single crash after this many simulator "
+                            "events (overrides --crashes)")
+    crash.add_argument("--recovery", default="replay",
+                       choices=("replay", "policy"),
+                       help="in-flight routine handling on recovery "
+                            "(default: replay)")
+    crash.add_argument("--checkpoint-every", type=int, default=32,
+                       help="observation records per checkpoint "
+                            "(default: 32)")
+    crash.add_argument("--json", default="",
+                       help="write the deterministic chaos summary "
+                            "JSON to this path")
+    crash.set_defaults(func=cmd_crash_recovery)
+
     fleet = sub.add_parser(
         "fleet", help="simulate N independent homes concurrently")
     fleet.add_argument("--homes", type=int, default=10,
@@ -246,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker pool type (default: serial)")
     fleet.add_argument("--workers", type=int, default=0,
                        help="pool size; 0 = one per CPU (default: 0)")
+    fleet.add_argument("--crashes", type=int, default=0,
+                       help="hub crashes per home at seeded times "
+                            "(default: 0 = no chaos)")
+    fleet.add_argument("--recovery", default="replay",
+                       choices=("replay", "policy"),
+                       help="hub recovery mode when --crashes > 0")
     fleet.add_argument("--per-home", action="store_true",
                        help="include per-home rows in the JSON")
     fleet.add_argument("--no-check-final", action="store_true",

@@ -155,6 +155,11 @@ class Controller:
     """Base class: command execution, aborts, rollback, bookkeeping."""
 
     model_name = "base"
+    # What happens to a RUNNING routine when the hub crashes and recovers
+    # in "policy" mode (see docs/durability.md): "resume" re-issues its
+    # remaining commands, "abort" rolls it back at recovery time.  Each
+    # visibility model pins its own value.
+    hub_recovery_policy = "resume"
 
     def __init__(self, sim: Simulator, registry: DeviceRegistry,
                  driver: Driver,
@@ -170,15 +175,26 @@ class Controller:
         self.believed_failed: Set[int] = set()
         # Detection event log: ("failure"|"restart", device_id, time).
         self.detection_events: List[tuple] = []
+        # Live subscribers to detections: callback(kind, device_id, time).
+        self.on_detection: List[Callable[[str, int, float], None]] = []
         # device id -> value to re-apply when the device restarts.
         self.pending_reconcile: Dict[int, Any] = {}
         # Per-device order in which routines completed their last access
         # (feeds the serialization-order reconstruction).
         self.device_access_order: Dict[int, List[int]] = {}
         self.on_routine_finished: List[Callable[[RoutineRun], None]] = []
+        # The durable hub's WAL (an object with .observe(type, payload,
+        # time)); None keeps journaling at zero cost.
+        self.journal: Optional[Any] = None
         # User-specified undo handlers for irreversible commands (§2.2).
         from repro.core.undo import UndoRegistry
         self.undo_registry = UndoRegistry()
+
+    def _journal(self, type_: str, **payload: Any) -> None:
+        """Append one observation record to the hub's WAL, if any."""
+        journal = self.journal
+        if journal is not None:
+            journal.observe(type_, payload, self.sim.now)
 
     # -- submission ------------------------------------------------------------
 
@@ -192,6 +208,8 @@ class Controller:
         self._next_routine_id += 1
         self.runs.append(run)
         self._runs_by_id[run.routine_id] = run
+        self._journal("routine-submitted", routine_id=run.routine_id,
+                      name=routine.name, when=when)
         self.sim.call_at(when, self._arrive, run,
                          label=f"arrive:{routine.name}")
         return run
@@ -206,6 +224,7 @@ class Controller:
         if run.status in (RoutineStatus.PENDING, RoutineStatus.WAITING):
             run.status = RoutineStatus.RUNNING
             run.start_time = self.sim.now
+            self._journal("routine-admitted", routine_id=run.routine_id)
 
     def _issue_command(self, run: RoutineRun, command: Command,
                        on_done: Callable[[RoutineRun, CommandExecution], None]
@@ -216,6 +235,10 @@ class Controller:
                                      started_at=self.sim.now)
         run.executions.append(execution)
         run.inflight_count += 1
+        self._journal("command-dispatched", routine_id=run.routine_id,
+                      device_id=command.device_id,
+                      index=len(run.executions) - 1,
+                      read=command.is_read)
 
         if command.device_id in self.believed_failed:
             # The hub already believes the device is down: no point
@@ -304,7 +327,11 @@ class Controller:
                                execution: CommandExecution) -> None:
         """Hook: an execution finished, was skipped or timed out (runs
         on every resolution path; the execution engine frees the
-        per-device FIFO slot here)."""
+        per-device FIFO slot here, after calling super())."""
+        self._journal("command-acked", routine_id=run.routine_id,
+                      device_id=execution.command.device_id,
+                      applied=execution.applied,
+                      skipped=execution.skipped)
 
     def _on_write_applied(self, run: RoutineRun,
                           execution: CommandExecution) -> None:
@@ -328,6 +355,8 @@ class Controller:
         run.status = RoutineStatus.ABORTED
         run.abort_reason = reason
         run.finish_time = self.sim.now
+        self._journal("routine-aborted", routine_id=run.routine_id,
+                      reason=reason)
         self._rollback(run)
         self._after_finish(run)
 
@@ -336,6 +365,7 @@ class Controller:
             return
         run.status = RoutineStatus.COMMITTED
         run.finish_time = self.sim.now
+        self._journal("routine-committed", routine_id=run.routine_id)
         self._on_commit(run)
         self._after_finish(run)
 
@@ -429,6 +459,8 @@ class Controller:
             return
         self.believed_failed.add(device_id)
         self.detection_events.append(("failure", device_id, self.sim.now))
+        self._journal("detection", kind="failure", device_id=device_id)
+        self._notify_detection("failure", device_id)
         self._policy_on_failure(device_id)
 
     def on_restart_detected(self, device_id: int) -> None:
@@ -436,16 +468,54 @@ class Controller:
             return
         self.believed_failed.discard(device_id)
         self.detection_events.append(("restart", device_id, self.sim.now))
+        self._journal("detection", kind="restart", device_id=device_id)
+        self._notify_detection("restart", device_id)
         if device_id in self.pending_reconcile:
             target = self.pending_reconcile.pop(device_id)
             self._hub_write(device_id, target, ("reconcile", device_id))
         self._policy_on_restart(device_id)
+
+    def _notify_detection(self, kind: str, device_id: int) -> None:
+        for callback in self.on_detection:
+            callback(kind, device_id, self.sim.now)
 
     def _policy_on_failure(self, device_id: int) -> None:
         """Hook: failure-serialization rules of the model (§3)."""
 
     def _policy_on_restart(self, device_id: int) -> None:
         """Hook: restart-serialization rules of the model (§3)."""
+
+    # -- durability: state capture & hub-crash policy ---------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Recoverable controller state for a hub checkpoint.
+
+        Subclasses extend the dict with their model-specific structures
+        (EV lineage entries, OCC commit log, lock-table holdings);
+        values may be arbitrary objects — the checkpoint digests them
+        via ``jsonify``.
+        """
+        return {
+            "model": self.model_name,
+            "believed_failed": sorted(self.believed_failed),
+            "pending_reconcile": dict(self.pending_reconcile),
+            "device_access_order": {k: list(v) for k, v in
+                                    self.device_access_order.items()},
+            "runs": [{
+                "routine_id": run.routine_id,
+                "name": run.name,
+                "status": run.status.value,
+                "next_index": run.next_index,
+                "executions": len(run.executions),
+                "inflight": run.inflight_count,
+                "devices_done": sorted(run.devices_done),
+            } for run in self.runs],
+        }
+
+    def hub_recovery_action(self, run: RoutineRun) -> str:
+        """Fate of a RUNNING routine under "policy"-mode hub recovery:
+        ``"resume"`` or ``"abort"`` (see :attr:`hub_recovery_policy`)."""
+        return self.hub_recovery_policy
 
     # -- bookkeeping ------------------------------------------------------------------
 

@@ -50,6 +50,11 @@ class EventualVisibilityController(PlanExecutionMixin):
     """Lineage-table based controller implementing EV."""
 
     model_name = "ev"
+    # Hub-crash recovery (docs/durability.md): the lineage table is
+    # exactly the structure the paper designed to survive restarts — it
+    # pins every in-flight routine's serialization position, so recovery
+    # re-issues remaining commands instead of aborting.
+    hub_recovery_policy = "resume"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -193,6 +198,10 @@ class EventualVisibilityController(PlanExecutionMixin):
             if access.pre_leased:
                 self.scheduler_stats["pre_leases"] += 1
             lineage.insert(placement.index, access)
+            self._journal("lineage-placed", routine_id=run.routine_id,
+                          device_id=request.device_id,
+                          index=placement.index,
+                          pre_leased=access.pre_leased)
             self._replan_successors(lineage, access)
         self.scheduler_stats["placements"] += 1
         if self.config.paranoid:
@@ -241,6 +250,8 @@ class EventualVisibilityController(PlanExecutionMixin):
                                        wants_read=entry.reads):
                 return  # blocked; a release will pump again
             lineage.acquire(run.routine_id, self.sim.now)
+            self._journal("lineage-acquired", routine_id=run.routine_id,
+                          device_id=command.device_id)
             if entry.pre_leased:
                 self._arm_revocation(run, entry)
         self._begin(run)
@@ -270,6 +281,8 @@ class EventualVisibilityController(PlanExecutionMixin):
                                        wants_read=entry.reads):
                 return False
             lineage.acquire(run.routine_id, self.sim.now)
+            self._journal("lineage-acquired", routine_id=run.routine_id,
+                          device_id=command.device_id)
             if entry.pre_leased:
                 self._arm_revocation(run, entry)
         return entry.status is LockStatus.ACQUIRED
@@ -290,6 +303,8 @@ class EventualVisibilityController(PlanExecutionMixin):
             return
         if self.config.post_lease:
             lineage.release(run.routine_id, self.sim.now)
+            self._journal("lineage-released", routine_id=run.routine_id,
+                          device_id=device_id)
             if lineage.index_of(run.routine_id) + 1 < len(lineage.entries):
                 self.scheduler_stats["post_leases"] += 1
             self._cancel_revocation(run, device_id)
@@ -327,7 +342,12 @@ class EventualVisibilityController(PlanExecutionMixin):
             if entry.applied_value is not UNSET:
                 self.table.set_committed(device_id, entry.applied_value,
                                          source=run.routine_id)
-                self.table.compact_commit(run.routine_id, device_id)
+                compacted = self.table.compact_commit(run.routine_id,
+                                                      device_id)
+                self._journal("lineage-compacted",
+                              routine_id=run.routine_id,
+                              device_id=device_id,
+                              removed=sorted(compacted))
                 if before_commit:
                     self.compacted_before.setdefault(
                         device_id, set()).update(before_commit)
@@ -437,6 +457,18 @@ class EventualVisibilityController(PlanExecutionMixin):
     def _has_must_command(run: RoutineRun, device_id: int) -> bool:
         return any(c.must for c in run.commands
                    if c.device_id == device_id)
+
+    # -- durability: state capture -------------------------------------------------------------
+
+    def snapshot_state(self):
+        state = super().snapshot_state()
+        state["lineage"] = self.table.snapshot()
+        state["compacted_before"] = {
+            device_id: sorted(hidden) for device_id, hidden in
+            sorted(self.compacted_before.items()) if hidden}
+        state["scheduler_stats"] = dict(self.scheduler_stats)
+        state["armed_revocations"] = sorted(self._revocations)
+        return state
 
     # -- helpers -----------------------------------------------------------------------------
 

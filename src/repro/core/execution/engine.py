@@ -31,7 +31,7 @@ from typing import List, Sequence
 from repro.core.command import CommandExecution
 from repro.core.controller import Controller, RoutineRun
 from repro.core.execution.locks import LockMode, LockTable
-from repro.core.execution.plan import STRATEGIES, CommandPlan
+from repro.core.execution.plan import STRATEGIES, CommandPlan, NodeState
 from repro.core.execution.queues import DeviceQueues
 
 
@@ -113,6 +113,12 @@ class PlanExecutionMixin(Controller):
             return
         plan = self._plan_for(run)
         for index in plan.ready_indexes():
+            if plan.nodes[index].state is not NodeState.READY:
+                # A believed-failed device resolves its command
+                # synchronously, so issuing one node can re-enter
+                # _dispatch and issue later ready nodes before this
+                # loop reaches them; don't issue them twice.
+                continue
             command = run.commands[index]
             if not self._claim_device(run, command):
                 continue
@@ -155,8 +161,24 @@ class PlanExecutionMixin(Controller):
                                execution: CommandExecution) -> None:
         """Free the device FIFO slot the moment an execution resolves —
         including abort/skip paths that never reach ``on_done``."""
+        super()._on_execution_resolved(run, execution)
         if self._parallel_enabled():
             self.device_queues.complete(execution.command.device_id)
+
+    # -- durability: state capture -------------------------------------------------
+
+    def snapshot_state(self):
+        state = super().snapshot_state()
+        state["locks"] = self.locks.snapshot()
+        state["device_queues"] = self.device_queues.snapshot()
+        state["admission_pending"] = {
+            owner: sorted(resources)
+            for owner, resources in sorted(self._admission_pending.items())}
+        state["arrival_counter"] = self._arrival_counter
+        state["plans"] = {
+            run.routine_id: run.plan.snapshot()
+            for run in self.runs if run.plan is not None}
+        return state
 
     # -- lock-table admission (GSV/PSV policies) -----------------------------------
 
@@ -175,6 +197,10 @@ class PlanExecutionMixin(Controller):
             if not self.locks.acquire(run.routine_id, resource,
                                       mode=mode, now=now):
                 pending.add(resource)
+        self._journal("admission", routine_id=run.routine_id,
+                      resources=sorted(resources),
+                      granted=not pending,
+                      waiting=sorted(pending))
         if not pending:
             return True
         self._admission_pending[run.routine_id] = pending
@@ -202,6 +228,8 @@ class PlanExecutionMixin(Controller):
         for next_run in sorted(startable, key=lambda r: r.arrival_seq):
             next_run.lock_wait_s += self.locks.wait_seconds.pop(
                 next_run.routine_id, 0.0)
+            self._journal("lock-granted", routine_id=next_run.routine_id,
+                          released_by=run.routine_id)
             if next_run.done:
                 self._release_admission_locks(next_run)
             else:

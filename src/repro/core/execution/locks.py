@@ -201,6 +201,50 @@ class LockTable:
             granted.append(grant)
         return granted
 
+    # -- snapshot / restore (durability contract) ------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable image of every grant and waiter.
+
+        Deterministic: resources sorted by id, grants and waiters in
+        their (semantically meaningful) list order.
+        """
+        return {
+            "resources": [{
+                "resource": res.resource,
+                "grants": [{"owner": g.owner, "mode": g.mode.value,
+                            "granted_at": g.granted_at,
+                            "deadline": g.deadline}
+                           for g in res.grants],
+                "waiters": [{"owner": w.owner, "mode": w.mode.value,
+                             "enqueued_at": w.enqueued_at,
+                             "deadline": w.deadline}
+                            for w in res.waiters],
+            } for res in sorted(self._resources.values(),
+                                key=lambda r: r.resource)],
+            "wait_seconds": dict(self.wait_seconds),
+            "stats": dict(self.stats),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rebuild the table from a :meth:`snapshot` image (inverse)."""
+        self._resources = {}
+        for entry in snapshot["resources"]:
+            res = self._resource(entry["resource"])
+            res.grants = [LockGrant(g["owner"], entry["resource"],
+                                    LockMode(g["mode"]),
+                                    granted_at=g["granted_at"],
+                                    deadline=g["deadline"])
+                          for g in entry["grants"]]
+            res.waiters = [_Waiter(w["owner"], entry["resource"],
+                                   LockMode(w["mode"]),
+                                   enqueued_at=w["enqueued_at"],
+                                   deadline=w["deadline"])
+                           for w in entry["waiters"]]
+        self.wait_seconds = {int(k): v for k, v in
+                             snapshot["wait_seconds"].items()}
+        self.stats = dict(snapshot["stats"])
+
     # -- deadlock handling ----------------------------------------------------
 
     def wait_for_edges(self) -> List[Tuple[int, int]]:

@@ -25,10 +25,21 @@ class GlobalStrictVisibilityController(PlanExecutionMixin):
 
     model_name = "gsv"
     strong = False
+    # Hub-crash recovery (docs/durability.md): GSV shows a single
+    # serialized home at every instant; a routine that straddled a hub
+    # outage cannot claim that, so recovery aborts the executing routine
+    # (the global lock then passes to the next FIFO waiter).
+    hub_recovery_policy = "abort"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._current: Optional[RoutineRun] = None
+
+    def snapshot_state(self):
+        state = super().snapshot_state()
+        state["current"] = (self._current.routine_id
+                            if self._current is not None else None)
+        return state
 
     def _arrive(self, run: RoutineRun) -> None:
         run.status = RoutineStatus.WAITING

@@ -220,6 +220,56 @@ class Lineage:
                 overlaps.append((first, second))
         return overlaps
 
+    # -- snapshot / restore (durability contract) ------------------------------------
+
+    def snapshot(self) -> dict:
+        """In-memory image of the lineage (entries in serialization
+        order plus the committed state).  Values are kept raw so a
+        restored lineage preserves rollback-target identity; the
+        checkpoint layer jsonifies them for digests.  ``UNSET`` is
+        encoded as absence."""
+        entries = []
+        for e in self.entries:
+            entry = {"routine_id": e.routine_id, "status": e.status.value,
+                     "planned_start": e.planned_start,
+                     "duration": e.duration, "writes": e.writes,
+                     "reads": e.reads, "acquired_at": e.acquired_at,
+                     "released_at": e.released_at,
+                     "pre_leased": e.pre_leased}
+            if e.final_value is not UNSET:
+                entry["final_value"] = e.final_value
+            if e.applied_value is not UNSET:
+                entry["applied_value"] = e.applied_value
+            entries.append(entry)
+        snap = {"device_id": self.device_id, "entries": entries,
+                "committed_source": self.committed_source}
+        if self.committed_state is not UNSET:
+            snap["committed_state"] = self.committed_state
+        return snap
+
+    def restore(self, snapshot: dict) -> None:
+        """Rebuild from a :meth:`snapshot` image (inverse)."""
+        if snapshot["device_id"] != self.device_id:
+            raise LineageInvariantError("snapshot belongs to another device")
+        self.committed_state = snapshot.get("committed_state", UNSET)
+        self.committed_source = snapshot.get("committed_source")
+        self.entries = []
+        for entry in snapshot["entries"]:
+            self.entries.append(LockAccess(
+                routine_id=entry["routine_id"],
+                device_id=self.device_id,
+                status=LockStatus(entry["status"]),
+                planned_start=entry["planned_start"],
+                duration=entry["duration"],
+                writes=entry["writes"],
+                reads=entry["reads"],
+                final_value=entry.get("final_value", UNSET),
+                applied_value=entry.get("applied_value", UNSET),
+                acquired_at=entry["acquired_at"],
+                released_at=entry["released_at"],
+                pre_leased=entry["pre_leased"]))
+        self.check_local_invariants()
+
     # -- status inference (Fig 8) --------------------------------------------------
 
     def inferred_state(self) -> Any:
@@ -374,6 +424,21 @@ class LineageTable:
                     f"compaction would drop an ACQUIRED access: {entry}")
         del lineage.entries[:index + 1]
         return [e.routine_id for e in removed if e.routine_id != routine_id]
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every device lineage, keyed (sorted) by device id."""
+        return {"lineages": [self._lineages[device_id].snapshot()
+                             for device_id in sorted(self._lineages)]}
+
+    def restore(self, snapshot: dict) -> None:
+        """Rebuild all lineages from a :meth:`snapshot` image."""
+        self._lineages = {}
+        for entry in snapshot["lineages"]:
+            lineage = Lineage(entry["device_id"])
+            lineage.restore(entry)
+            self._lineages[entry["device_id"]] = lineage
 
     # -- invariant 4 ------------------------------------------------------------
 

@@ -40,6 +40,11 @@ class OptimisticController(PlanExecutionMixin):
 
     model_name = "occ"
     max_retries = 3
+    # Hub-crash recovery (docs/durability.md): optimistic execution is
+    # naturally restartable — a recovered routine re-validates its
+    # read/write sets at its finish point, so it resumes and any
+    # outage-induced conflict is caught by first-committer-wins.
+    hub_recovery_policy = "resume"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -47,6 +52,18 @@ class OptimisticController(PlanExecutionMixin):
         self.committed_states: Dict[int, Any] = {}
         self.retries_used: Dict[int, int] = {}
         self.validation_aborts = 0
+
+    def snapshot_state(self):
+        state = super().snapshot_state()
+        state["commit_log"] = [{
+            "routine_id": record.routine_id,
+            "commit_time": record.commit_time,
+            "write_set": sorted(record.write_set),
+        } for record in self.commit_log]
+        state["committed_states"] = dict(self.committed_states)
+        state["retries_used"] = dict(self.retries_used)
+        state["validation_aborts"] = self.validation_aborts
+        return state
 
     # -- execution: run immediately, like WV --------------------------------------
 

@@ -27,10 +27,23 @@ class PartitionedStrictVisibilityController(PlanExecutionMixin):
     """Conflict-serialized execution with finish-point failure checks."""
 
     model_name = "psv"
+    # Hub-crash recovery (docs/durability.md): each partition is a
+    # strict serial order; a routine executing across the outage cannot
+    # keep that promise, so recovery aborts it (waiting admissions are
+    # durable in the lock table and proceed untouched).
+    hub_recovery_policy = "abort"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._running: List[RoutineRun] = []
+
+    def snapshot_state(self):
+        state = super().snapshot_state()
+        state["running"] = [run.routine_id for run in self._running]
+        state["failed_after_last_touch"] = {
+            run.routine_id: sorted(run.failed_after_last_touch)
+            for run in self._running if run.failed_after_last_touch}
+        return state
 
     def _arrive(self, run: RoutineRun) -> None:
         run.status = RoutineStatus.WAITING

@@ -19,6 +19,10 @@ class WeakVisibilityController(PlanExecutionMixin):
     """No locks, no serialization: every routine runs immediately."""
 
     model_name = "wv"
+    # Hub-crash recovery (docs/durability.md): the status quo promises
+    # nothing, so recovered routines barrel on from where replay left
+    # them — exactly how today's hubs behave after a reboot.
+    hub_recovery_policy = "resume"
 
     def _arrive(self, run: RoutineRun) -> None:
         self._begin(run)

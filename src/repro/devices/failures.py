@@ -33,19 +33,24 @@ class FailureInjector:
     sim: Simulator
     registry: DeviceRegistry
     plans: List[FailurePlan] = field(default_factory=list)
+    # Plans already scheduled; arm() is idempotent so multi-phase runs
+    # (e.g. continuing after a hub crash/recovery) never double-schedule
+    # or re-schedule a past failure.
+    _armed: int = field(default=0, repr=False)
 
     def add(self, plan: FailurePlan) -> None:
         self.plans.append(plan)
 
     def arm(self) -> None:
-        """Schedule all planned failures/restarts on the simulator."""
-        for plan in self.plans:
+        """Schedule not-yet-armed failures/restarts on the simulator."""
+        for plan in self.plans[self._armed:]:
             device = self.registry.get(plan.device_id)
             self.sim.call_at(plan.fail_at, device.fail,
                              label=f"fail:{device.name}")
             if plan.restart_at is not None:
                 self.sim.call_at(plan.restart_at, device.restart,
                                  label=f"restart:{device.name}")
+        self._armed = len(self.plans)
 
     @staticmethod
     def random_plans(rng, device_ids: List[int], fraction: float,

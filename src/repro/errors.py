@@ -27,3 +27,11 @@ class LineageInvariantError(SafeHomeError):
 
 class SchedulingError(SafeHomeError):
     """The scheduler could not place a routine."""
+
+
+class HubCrashedError(SafeHomeError):
+    """An operation was attempted on a crashed hub (recover() first)."""
+
+
+class RecoveryError(SafeHomeError):
+    """Hub recovery failed (replay diverged from the write-ahead log)."""

@@ -21,11 +21,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.fleet.seeding import SeedSplitter
-from repro.fleet.sharding import (DEFAULT_CHECK_FINAL, DEFAULT_EXECUTION,
+from repro.fleet.sharding import (DEFAULT_CHECK_FINAL, DEFAULT_CRASHES,
+                                  DEFAULT_EXECUTION,
                                   DEFAULT_EXHAUSTIVE_LIMIT,
                                   DEFAULT_MAX_EVENTS, DEFAULT_MODEL,
-                                  DEFAULT_SCHEDULER, HomeSpec, Shard,
-                                  plan_shards)
+                                  DEFAULT_RECOVERY, DEFAULT_SCHEDULER,
+                                  HomeSpec, Shard, plan_shards)
 from repro.fleet.worker import run_shard
 from repro.metrics.fleet import aggregate_homes
 from repro.workloads.fleet_mix import DEFAULT_MIX, scenario_for_home
@@ -84,6 +85,9 @@ class FleetConfig:
     check_final: bool = DEFAULT_CHECK_FINAL
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT
     max_events: int = DEFAULT_MAX_EVENTS
+    # Hub-crash chaos schedule, applied per home (see HomeSpec).
+    crashes: int = DEFAULT_CRASHES
+    recovery: str = DEFAULT_RECOVERY
 
     def effective_workers(self) -> int:
         workers = self.workers or (os.cpu_count() or 1)
@@ -127,6 +131,10 @@ class FleetResult:
             # Included only when non-default so default fleet reports
             # stay byte-identical to pre-execution-core output.
             payload["fleet"]["execution"] = self.config.execution
+        if self.config.crashes != DEFAULT_CRASHES:
+            # Same rule for the hub-crash chaos schedule.
+            payload["fleet"]["crashes"] = self.config.crashes
+            payload["fleet"]["recovery"] = self.config.recovery
         if per_home:
             payload["homes"] = [
                 {key: value for key, value in row.items()
@@ -164,6 +172,8 @@ class FleetEngine:
                 check_final=config.check_final,
                 exhaustive_limit=config.exhaustive_limit,
                 max_events=config.max_events,
+                crashes=config.crashes,
+                recovery=config.recovery,
             )
             for home_id in range(config.homes)
         ]

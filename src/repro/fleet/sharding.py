@@ -19,6 +19,8 @@ DEFAULT_EXECUTION = "serial"
 DEFAULT_CHECK_FINAL = True
 DEFAULT_EXHAUSTIVE_LIMIT = 7
 DEFAULT_MAX_EVENTS = 5_000_000
+DEFAULT_CRASHES = 0             # hub crashes per home (0 = no chaos)
+DEFAULT_RECOVERY = "replay"     # hub recovery mode when crashes > 0
 
 
 @dataclass(frozen=True)
@@ -34,6 +36,12 @@ class HomeSpec:
     check_final: bool = DEFAULT_CHECK_FINAL
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT
     max_events: int = DEFAULT_MAX_EVENTS
+    # Hub-crash chaos: crash the home's hub this many times at
+    # seed-derived virtual times and recover in `recovery` mode (see
+    # docs/durability.md).  0 keeps the home non-durable and the row
+    # byte-identical to pre-durability fleets.
+    crashes: int = DEFAULT_CRASHES
+    recovery: str = DEFAULT_RECOVERY
 
 
 @dataclass(frozen=True)

@@ -4,13 +4,38 @@ Module-level functions only — process pools pickle ``run_shard`` plus a
 tuple of :class:`~repro.fleet.sharding.HomeSpec` dataclasses, and every
 worker rebuilds its workloads locally from the spec.  A row is plain
 JSON-serializable data so results cross process boundaries cheaply.
+
+When a spec carries a hub-crash schedule (``crashes > 0``) the worker
+builds a *durable* hub, crashes it at seed-derived virtual times,
+recovers it in the spec's mode and appends deterministic recovery
+counters to the row (see docs/durability.md).  With ``crashes == 0``
+the home is non-durable and the row is byte-identical to pre-durability
+fleets.
 """
 
 from typing import Any, Dict, List
 
 from repro.fleet.sharding import HomeSpec, Shard
 from repro.hub.safehome import SafeHome
+from repro.sim.random import RandomStreams
 from repro.workloads.fleet_mix import build_fleet_workload
+
+#: Fallback crash horizon when a scenario carries no hint (virtual s).
+_CRASH_HORIZON_S = 60.0
+
+
+def _crash_times(spec: HomeSpec, horizon: float) -> List[float]:
+    """Seed-derived, strictly increasing hub-crash times for one home."""
+    rng = RandomStreams(seed=spec.seed).stream("hub-crashes")
+    times = sorted(round(rng.uniform(0.0, horizon), 6)
+                   for _ in range(spec.crashes))
+    # Drop duplicates: a crash cannot be scheduled at or before the
+    # recovered hub's current time.
+    distinct: List[float] = []
+    for t in times:
+        if not distinct or t > distinct[-1]:
+            distinct.append(t)
+    return distinct
 
 
 def run_home(spec: HomeSpec) -> Dict[str, Any]:
@@ -24,12 +49,24 @@ def run_home(spec: HomeSpec) -> Dict[str, Any]:
     """
     workload = build_fleet_workload(spec.scenario, seed=spec.seed)
     home = SafeHome(visibility=spec.model, scheduler=spec.scheduler,
-                    execution=spec.execution, seed=spec.seed)
+                    execution=spec.execution, seed=spec.seed,
+                    durability=bool(spec.crashes))
     home.load_workload(workload)
+    recoveries = []
+    if spec.crashes:
+        horizon = workload.horizon_hint or _CRASH_HORIZON_S
+        for crash_time in _crash_times(spec, horizon):
+            home.crash(at=crash_time)
+            home.run(max_events=spec.max_events)
+            if not home.crashed:
+                # The home drained before this crash time; later (larger)
+                # times cannot fire either.
+                break
+            recoveries.append(home.recover(mode=spec.recovery))
     result = home.run(max_events=spec.max_events)
     report = home.report(check_final=spec.check_final,
                          exhaustive_limit=spec.exhaustive_limit)
-    return {
+    row = {
         "home_id": spec.home_id,
         "scenario": spec.scenario,
         "model": report.model_name,
@@ -45,6 +82,14 @@ def run_home(spec: HomeSpec) -> Dict[str, Any]:
         "final_congruent": report.final_congruent,
         "makespan": result.makespan,
     }
+    if spec.crashes:
+        # Deterministic recovery counters only (wall time excluded).
+        row["hub_crashes"] = len(recoveries)
+        row["hub_replayed_events"] = sum(r.replayed_events
+                                         for r in recoveries)
+        row["hub_recovery_aborted"] = sum(len(r.aborted)
+                                          for r in recoveries)
+    return row
 
 
 def run_shard(shard: Shard) -> List[Dict[str, Any]]:

@@ -5,8 +5,12 @@ invocation), the Concurrency Controller (one of the visibility models)
 and the Failure Detector.
 """
 
+from repro.hub.durability import (DurabilityConfig, RecoveryReport,
+                                  WriteAheadLog)
 from repro.hub.failure_detector import FailureDetector
+from repro.hub.log import FeedbackLog
 from repro.hub.routine_bank import RoutineBank
 from repro.hub.safehome import SafeHome
 
-__all__ = ["SafeHome", "RoutineBank", "FailureDetector"]
+__all__ = ["SafeHome", "RoutineBank", "FailureDetector", "FeedbackLog",
+           "DurabilityConfig", "RecoveryReport", "WriteAheadLog"]

@@ -1,0 +1,31 @@
+"""Durable hub: write-ahead log, checkpoints, crash/restart recovery.
+
+See ``docs/durability.md`` for the record taxonomy, checkpoint format
+and the per-model recovery policy table.
+"""
+
+from repro.hub.durability.checkpoint import (Checkpoint, capture_checkpoint,
+                                             state_digest)
+from repro.hub.durability.recovery import (RECOVERY_MODES, CrashPlan,
+                                           DurabilityConfig,
+                                           DurabilityManager, RecoveryReport)
+from repro.hub.durability.wal import (INPUT_TYPES, MARKER_TYPES,
+                                      OBSERVATION_TYPES, WalRecord,
+                                      WriteAheadLog, jsonify)
+
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "INPUT_TYPES",
+    "OBSERVATION_TYPES",
+    "MARKER_TYPES",
+    "jsonify",
+    "Checkpoint",
+    "capture_checkpoint",
+    "state_digest",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "CrashPlan",
+    "RecoveryReport",
+    "RECOVERY_MODES",
+]

@@ -1,0 +1,193 @@
+"""Crash/recovery protocol for the durable hub.
+
+The hub is a deterministic asynchronous system: the event queue is
+totally ordered and every random draw comes from a named seeded stream.
+Recovery therefore follows the deterministic-replay school (Vlad's
+*regular asynchronous systems*): rebuild a fresh stack, re-apply the
+WAL's input records in order, and re-execute the simulation to the
+exact crash boundary.  The regenerated observation stream and
+checkpoint digests must match the log byte-for-byte — replay is
+*verified*, not assumed — and any divergence raises
+:class:`~repro.errors.RecoveryError`.
+
+Two recovery modes decide the fate of routines that were running when
+the hub died (``DurabilityConfig.recovery``):
+
+* ``"replay"`` (default) — every in-flight routine resumes exactly
+  where it was; the recovered hub's final report is byte-identical to
+  an uninterrupted run.
+* ``"policy"`` — each visibility model applies its own rule via
+  ``Controller.hub_recovery_action``: strict models (GSV/S-GSV/PSV)
+  abort routines caught mid-execution because a strict serialization
+  cannot span an outage, while WV, EV and OCC re-issue (WV promises
+  nothing, EV's lineage reconstructs every in-flight position, OCC
+  re-validates at its finish point).
+"""
+
+import time as _wall
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.hub.durability.checkpoint import Checkpoint, capture_checkpoint
+from repro.hub.durability.wal import WriteAheadLog
+
+#: Recovery modes (see module docstring).
+RECOVERY_MODES = ("replay", "policy")
+
+
+@dataclass
+class DurabilityConfig:
+    """Tunables of the durable hub."""
+
+    #: Take a checkpoint every N observation records (0 disables).
+    checkpoint_every: int = 64
+    #: Default recovery mode for :meth:`SafeHome.recover`.
+    recovery: str = "replay"
+    #: Drop observation records below each new checkpoint (bounds WAL
+    #: memory; verification then covers the digest-protected prefix
+    #: plus the live suffix).
+    compact_on_checkpoint: bool = False
+
+    def __post_init__(self) -> None:
+        if self.recovery not in RECOVERY_MODES:
+            raise ValueError(f"unknown recovery mode {self.recovery!r}; "
+                             f"pick from {RECOVERY_MODES}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A scheduled hub crash: at a virtual time or an event index.
+
+    ``after_events`` counts *total* simulator events (cumulative across
+    run calls), which stays meaningful across recoveries because replay
+    re-processes exactly the pre-crash events.
+    """
+
+    at: Optional[float] = None
+    after_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.after_events is None):
+            raise ValueError(
+                "exactly one of at= / after_events= must be given")
+        if self.after_events is not None and self.after_events < 1:
+            raise ValueError("after_events must be >= 1")
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"at": self.at, "after_events": self.after_events}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CrashPlan":
+        return cls(at=payload.get("at"),
+                   after_events=payload.get("after_events"))
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery did, and what it cost."""
+
+    mode: str
+    crash_time: float
+    crash_events: int
+    replayed_events: int        # simulator events re-executed
+    replayed_records: int       # observation records re-verified
+    wal_records: int            # total WAL length at crash
+    checkpoints_verified: int
+    resumed: List[int] = field(default_factory=list)    # routine ids
+    aborted: List[int] = field(default_factory=list)    # routine ids
+    wall_s: float = 0.0         # wall-clock recovery time (measurement)
+
+    def row(self) -> Dict[str, Any]:
+        """Deterministic summary (wall time excluded — see to_row_timed)."""
+        return {
+            "mode": self.mode,
+            "crash_time": round(self.crash_time, 6),
+            "crash_events": self.crash_events,
+            "replayed_events": self.replayed_events,
+            "replayed_records": self.replayed_records,
+            "wal_records": self.wal_records,
+            "checkpoints_verified": self.checkpoints_verified,
+            "resumed": list(self.resumed),
+            "aborted": list(self.aborted),
+        }
+
+
+class DurabilityManager:
+    """WAL + checkpoints for one hub; the controller's journal target.
+
+    The manager never drives execution: controllers call
+    :meth:`observe`, the facade records inputs via :meth:`record_input`,
+    and the simulator's post-event hook gives checkpoints their
+    event-boundary timing.  ``capture_state``/``events``/``now`` are
+    callables supplied by the owning :class:`SafeHome` so the manager
+    survives the facade rebuilding its stack during recovery.
+    """
+
+    def __init__(self, config: DurabilityConfig, capture_state,
+                 events, now) -> None:
+        self.config = config
+        self.wal = WriteAheadLog()
+        self.checkpoints: List[Checkpoint] = []
+        self._capture_state = capture_state
+        self._events = events
+        self._now = now
+        self._observations_since_checkpoint = 0
+        self._checkpoint_due = False
+
+    # -- journal protocol (called by controllers and the facade) --------------
+
+    def record_input(self, type_: str,
+                     payload: Dict[str, Any]) -> None:
+        self.wal.append(type_, payload, self._now())
+
+    def observe(self, type_: str, payload: Dict[str, Any],
+                time: float) -> None:
+        self.wal.append(type_, payload, time)
+        if self.config.checkpoint_every:
+            self._observations_since_checkpoint += 1
+            if self._observations_since_checkpoint >= \
+                    self.config.checkpoint_every:
+                # Capture is deferred to the next event boundary so the
+                # snapshot never sees a half-applied event.
+                self._checkpoint_due = True
+
+    def mark_crash(self, plan_payload: Dict[str, Any]) -> None:
+        self.wal.append("crash", {
+            **plan_payload,
+            "time": self._now(),
+            "events": self._events(),
+        }, self._now())
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def on_event_processed(self) -> None:
+        """Simulator post-event hook: take due checkpoints here."""
+        if self._checkpoint_due:
+            self._checkpoint_due = False
+            self.take_checkpoint()
+
+    def take_checkpoint(self) -> Checkpoint:
+        self._observations_since_checkpoint = 0
+        checkpoint = capture_checkpoint(
+            seq=self.wal._next_seq, time=self._now(),
+            events_processed=self._events(),
+            state=self._capture_state())
+        self.checkpoints.append(checkpoint)
+        # The marker doubles as in-log digest evidence: replay
+        # regenerates it and the observation comparison covers it.
+        self.observe("checkpoint", {
+            "digest": checkpoint.digest,
+            "events": checkpoint.events_processed,
+            "index": len(self.checkpoints) - 1,
+        }, self._now())
+        if self.config.compact_on_checkpoint:
+            self.wal.compact(checkpoint.seq)
+        return checkpoint
+
+    # -- measurement helpers ----------------------------------------------------
+
+    @staticmethod
+    def wall_clock() -> float:
+        return _wall.perf_counter()

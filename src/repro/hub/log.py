@@ -4,6 +4,14 @@ When a routine aborts or a best-effort command is skipped, "the user
 receives feedback ... and she is free to either ignore or re-execute"
 — this module materializes that feedback as structured, renderable
 entries, fed from controller run records.
+
+Device failure/restart detections stream in live: the log subscribes to
+the controller's ``on_detection`` callbacks, so ``DEVICE_FAILED`` and
+``DEVICE_RESTARTED`` entries appear the moment the hub detects the
+event (they used to exist only via an explicit
+:meth:`FeedbackLog.record_detections` back-fill, which meant restart
+feedback was silently dropped in every live path).  Hub crashes and
+recoveries (see :mod:`repro.hub.durability`) are reported the same way.
 """
 
 import enum
@@ -20,6 +28,8 @@ class FeedbackKind(enum.Enum):
     COMMANDS_ROLLED_BACK = "rolled-back"
     DEVICE_FAILED = "device-failed"
     DEVICE_RESTARTED = "device-restarted"
+    HUB_CRASHED = "hub-crashed"
+    HUB_RESTARTED = "hub-restarted"
 
 
 @dataclass(frozen=True)
@@ -40,7 +50,13 @@ class FeedbackLog:
     def __init__(self, controller: Controller) -> None:
         self.controller = controller
         controller.on_routine_finished.append(self._on_finished)
+        controller.on_detection.append(self._on_detection)
         self.entries: List[FeedbackEntry] = []
+        # Indexes into controller.detection_events already emitted —
+        # live entries occupy the *tail* of that list when the log is
+        # attached to an already-running controller, so a plain count
+        # would refold them and skip the pre-attach head.
+        self._emitted_detections = set()
 
     def _on_finished(self, run: RoutineRun) -> None:
         now = self.controller.sim.now
@@ -66,14 +82,42 @@ class FeedbackLog:
                     f"{run.rolled_back_commands} commands undone; "
                     "you may re-initiate the routine"))
 
+    def _on_detection(self, kind: str, device_id: int,
+                      when: float) -> None:
+        """Live path: the hub just detected a failure or restart (the
+        callback fires right after the event is appended, so it is the
+        last entry in detection_events)."""
+        self._emitted_detections.add(
+            len(self.controller.detection_events) - 1)
+        self._append_detection(kind, device_id, when)
+
+    def _append_detection(self, kind: str, device_id: int,
+                          when: float) -> None:
+        feedback_kind = (FeedbackKind.DEVICE_FAILED if kind == "failure"
+                         else FeedbackKind.DEVICE_RESTARTED)
+        self.entries.append(FeedbackEntry(
+            when, feedback_kind, "-", f"device {device_id}"))
+
     def record_detections(self) -> None:
-        """Fold the controller's detection events into the log."""
-        for kind, device_id, when in self.controller.detection_events:
-            feedback_kind = (FeedbackKind.DEVICE_FAILED
-                             if kind == "failure"
-                             else FeedbackKind.DEVICE_RESTARTED)
-            self.entries.append(FeedbackEntry(
-                when, feedback_kind, "-", f"device {device_id}"))
+        """Back-fill detection events not yet emitted live (idempotent;
+        kept for logs attached to an already-running controller)."""
+        for index, (kind, device_id, when) in enumerate(
+                self.controller.detection_events):
+            if index not in self._emitted_detections:
+                self._emitted_detections.add(index)
+                self._append_detection(kind, device_id, when)
+
+    # -- hub lifecycle (durability layer) -----------------------------------
+
+    def hub_crashed(self, when: float) -> None:
+        self.entries.append(FeedbackEntry(
+            when, FeedbackKind.HUB_CRASHED, "-",
+            "hub lost power; in-memory state gone, WAL survives"))
+
+    def hub_restarted(self, when: float, mode: str) -> None:
+        self.entries.append(FeedbackEntry(
+            when, FeedbackKind.HUB_RESTARTED, "-",
+            f"hub recovered from checkpoint + WAL replay ({mode} mode)"))
 
     def render(self) -> str:
         ordered = sorted(self.entries, key=lambda e: e.time)

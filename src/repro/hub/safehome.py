@@ -17,21 +17,38 @@ detector, routine bank and dispatcher — behind a small surface::
     })
     home.invoke("cooling")
     result = home.run()
+
+With ``durability=True`` the hub journals every input and execution
+decision to a write-ahead log and checkpoints its state periodically
+(see :mod:`repro.hub.durability` and docs/durability.md), which makes
+the hub itself crash-recoverable::
+
+    home = SafeHome(visibility="ev", durability=True)
+    ...
+    home.crash(after_events=100)   # schedule a hub crash
+    home.run()                     # dies mid-run
+    home.recover()                 # checkpoint + WAL replay, verified
+    home.run()                     # continues to completion
 """
 
 from typing import Any, Dict, List, Optional, Union
 
-from repro.core.controller import ControllerConfig, RoutineRun, RunResult
+from repro.core.controller import (ControllerConfig, RoutineRun,
+                                   RoutineStatus, RunResult)
 from repro.core.routine import Routine
-from repro.core.spec import parse_routine
+from repro.core.spec import parse_routine, routine_to_spec
 from repro.core.visibility import VisibilityModel, make_controller
 from repro.devices.device import Device
 from repro.devices.driver import Driver
 from repro.devices.failures import FailureInjector, FailurePlan
 from repro.devices.network import LatencyModel
 from repro.devices.registry import DeviceRegistry
-from repro.errors import SafeHomeError
+from repro.errors import HubCrashedError, RecoveryError, SafeHomeError
+from repro.hub.durability.recovery import (RECOVERY_MODES, CrashPlan,
+                                           DurabilityConfig,
+                                           DurabilityManager, RecoveryReport)
 from repro.hub.failure_detector import FailureDetector
+from repro.hub.log import FeedbackLog
 from repro.hub.routine_bank import RoutineBank
 from repro.metrics.collector import MetricsReport, analyze
 from repro.sim.engine import Simulator
@@ -49,56 +66,149 @@ class SafeHome:
                  config: Optional[ControllerConfig] = None,
                  latency: Optional[LatencyModel] = None,
                  seed: int = 0,
-                 detector_ping_period_s: float = 1.0) -> None:
+                 detector_ping_period_s: float = 1.0,
+                 durability: Union[bool, DurabilityConfig, None] = None
+                 ) -> None:
+        # Everything the stack is built from, kept so recovery can
+        # rebuild an identical stack (the latency model and config are
+        # reused by reference: both are pure parameter holders).
+        self._ctor: Dict[str, Any] = {
+            "visibility": visibility,
+            "scheduler": scheduler,
+            "execution": execution,
+            "config": config,
+            "latency": latency,
+            "seed": seed,
+            "detector_ping_period_s": detector_ping_period_s,
+        }
+        self.durability: Optional[DurabilityManager] = None
+        self._crashed = False
+        self._pending_crash: Optional[CrashPlan] = None
+        self.recoveries: List[RecoveryReport] = []
+        self._build_stack()
+        if durability:
+            cfg = durability if isinstance(durability, DurabilityConfig) \
+                else DurabilityConfig()
+            self._attach_durability(cfg)
+
+    def _build_stack(self) -> None:
+        """(Re)build the full edge stack from the stored constructor
+        parameters.  Called at construction and again by recovery."""
+        ctor = self._ctor
         self.sim = Simulator()
         self.registry = DeviceRegistry()
-        self.streams = RandomStreams(seed=seed)
+        self.streams = RandomStreams(seed=ctor["seed"])
         self.driver = Driver(
             sim=self.sim, registry=self.registry,
-            latency=latency or LatencyModel(), streams=self.streams)
-        self.config = config or ControllerConfig()
-        self.config.scheduler = scheduler
-        if execution is not None:
+            latency=ctor["latency"] or LatencyModel(), streams=self.streams)
+        self.config = ctor["config"] or ControllerConfig()
+        self.config.scheduler = ctor["scheduler"]
+        if ctor["execution"] is not None:
             # "serial" (bit-compatible command chain) or "parallel"
             # (command-DAG dispatch; see docs/execution-model.md).
-            self.config.execution = execution
+            self.config.execution = ctor["execution"]
         self.controller = make_controller(
-            visibility, self.sim, self.registry, self.driver, self.config)
+            ctor["visibility"], self.sim, self.registry, self.driver,
+            self.config)
         self.detector = FailureDetector(
             self.sim, self.registry, self.driver, self.controller,
-            ping_period_s=detector_ping_period_s)
+            ping_period_s=ctor["detector_ping_period_s"])
         self.bank = RoutineBank()
         self.injector = FailureInjector(self.sim, self.registry)
+        self.feedback = FeedbackLog(self.controller)
         self._detector_started = False
         self._initial: Optional[Dict[int, Any]] = None
         self._last_result: Optional[RunResult] = None
+
+    # -- durability plumbing ---------------------------------------------------
+
+    def _attach_durability(self, config: DurabilityConfig) -> None:
+        ctor = self._ctor
+        self.durability = DurabilityManager(
+            config,
+            capture_state=self._capture_state,
+            events=lambda: self.sim.events_processed,
+            now=lambda: self.sim.now)
+        self.controller.journal = self.durability
+        self.sim.add_post_event_hook(self.durability.on_event_processed)
+        visibility = ctor["visibility"]
+        if isinstance(visibility, VisibilityModel):
+            visibility = visibility.value
+        self.durability.record_input("home-created", {
+            "visibility": visibility,
+            "scheduler": ctor["scheduler"],
+            "execution": ctor["execution"],
+            "seed": ctor["seed"],
+            "detector_ping_period_s": ctor["detector_ping_period_s"],
+            "checkpoint_every": config.checkpoint_every,
+        })
+
+    def _capture_state(self) -> Dict[str, Any]:
+        """Checkpoint payload: every stateful layer's snapshot."""
+        return {
+            "time": self.sim.now,
+            "devices": self.registry.snapshot_full(),
+            "controller": self.controller.snapshot_state(),
+        }
+
+    def _record_input(self, type_: str, payload: Dict[str, Any]) -> None:
+        if self.durability is not None:
+            self.durability.record_input(type_, payload)
+
+    def _ensure_alive(self) -> None:
+        if self._crashed:
+            raise HubCrashedError(
+                "the hub has crashed; call recover() first")
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def wal(self):
+        """The write-ahead log, when durability is enabled."""
+        return self.durability.wal if self.durability is not None else None
 
     # -- setup -----------------------------------------------------------------
 
     def add_device(self, type_name: str, name: str = "") -> Device:
         """Add one catalog device to the home."""
-        return self.registry.create(type_name, name)
+        self._ensure_alive()
+        device = self.registry.create(type_name, name)
+        self._record_input("device-added", {"type": type_name,
+                                            "name": device.name})
+        return device
 
     def add_devices(self, type_name: str, count: int,
                     prefix: str = "") -> List[Device]:
-        return self.registry.create_many(type_name, count, prefix)
+        prefix = prefix or type_name
+        return [self.add_device(type_name, f"{prefix}-{i}")
+                for i in range(count)]
 
     def register_routine(self, routine: Routine,
                          replace: bool = False) -> None:
+        self._ensure_alive()
         self.bank.register(routine, replace=replace)
+        self._record_input("routine-registered", {
+            "spec": routine_to_spec(routine, self.registry),
+            "replace": replace})
 
     def register_routine_spec(self, spec: Union[str, Dict[str, Any]],
                               replace: bool = False) -> Routine:
         """Register a routine from its JSON spec (Fig 10 format)."""
         routine = parse_routine(spec, self.registry)
-        self.bank.register(routine, replace=replace)
+        self.register_routine(routine, replace=replace)
         return routine
 
     def plan_failure(self, device_name: str, fail_at: float,
                      restart_at: Optional[float] = None) -> None:
         """Script a fail-stop failure (and optional restart)."""
+        self._ensure_alive()
         device = self.registry.by_name(device_name)
         self.injector.add(FailurePlan(device.device_id, fail_at, restart_at))
+        self._record_input("failure-planned", {
+            "device_id": device.device_id, "fail_at": fail_at,
+            "restart_at": restart_at})
 
     def load_workload(self, workload: Workload) -> None:
         """Populate this home from a :class:`Workload` in one call.
@@ -109,25 +219,46 @@ class SafeHome:
         a user-facing hub.  This is how the fleet engine turns a home
         spec into a running :class:`SafeHome`.
         """
+        self._ensure_alive()
         for type_name, name in workload.devices:
-            self.registry.create(type_name, name)
+            self.add_device(type_name, name)
         for plan in workload.failure_plans:
             self.injector.add(plan)
+            self._record_input("failure-planned", {
+                "device_id": plan.device_id, "fail_at": plan.fail_at,
+                "restart_at": plan.restart_at})
         self._initial = self.registry.snapshot()
         for routine, at in workload.arrivals:
-            self.controller.submit(routine, when=at)
-        attach_streams(self.controller, workload.streams)
+            self._submit_recorded(routine, at)
+        self._attach_streams_recorded(workload.streams)
+
+    def _submit_recorded(self, routine: Routine,
+                         when: Optional[float]) -> RoutineRun:
+        when = self.sim.now if when is None else when
+        self._record_input("invoked", {
+            "spec": routine_to_spec(routine, self.registry), "when": when})
+        return self.controller.submit(routine, when=when)
+
+    def _attach_streams_recorded(self,
+                                 streams: List[List[Routine]]) -> None:
+        if not any(streams):
+            return
+        self._record_input("streams-attached", {
+            "streams": [[routine_to_spec(routine, self.registry)
+                         for routine in stream] for stream in streams]})
+        attach_streams(self.controller, streams)
 
     # -- dispatch (user or trigger initiation) -------------------------------------
 
     def invoke(self, routine_or_name: Union[str, Routine],
                at: Optional[float] = None) -> RoutineRun:
         """Invoke a routine now or at an absolute virtual time."""
+        self._ensure_alive()
         if isinstance(routine_or_name, Routine):
             routine = routine_or_name
         else:
             routine = self.bank.instantiate(routine_or_name)
-        return self.controller.submit(routine, when=at)
+        return self._submit_recorded(routine, at)
 
     def invoke_repeating(self, name: str, start_at: float, period: float,
                          count: int) -> List[RoutineRun]:
@@ -142,6 +273,9 @@ class SafeHome:
         per the active visibility model's rules and the user gets
         feedback, exactly as for a failure-driven abort (§2.2).
         """
+        self._ensure_alive()
+        self._record_input("cancelled", {
+            "routine_id": run.routine_id, "at": at})
         if at is None:
             self.controller.request_abort(run, "cancelled by user")
         else:
@@ -155,12 +289,27 @@ class SafeHome:
             max_events: Optional[int] = None) -> RunResult:
         """Run the simulation to completion and return the results.
 
+        If a crash is scheduled (:meth:`crash`) the run stops at the
+        crash point instead, the hub is marked crashed and the returned
+        :class:`RunResult` is the post-mortem partial state.
+
         Args:
             until: optional virtual-time bound.
             detector: force the failure detector on/off; by default it
                 runs only when failures are scripted.
             max_events: safety valve against runaway simulations.
         """
+        self._ensure_alive()
+        self._record_input("run", {"until": until, "detector": detector,
+                                   "max_events": max_events})
+        return self._run_core(until=until, detector=detector,
+                              max_events=max_events)
+
+    def _run_core(self, until: Optional[float] = None,
+                  detector: Optional[bool] = None,
+                  max_events: Optional[int] = None) -> RunResult:
+        """The run body, shared by live execution and recovery replay
+        (replay records the input itself, so this never journals)."""
         start_detector = detector if detector is not None \
             else bool(self.injector.plans)
         if start_detector and not self._detector_started:
@@ -171,9 +320,242 @@ class SafeHome:
         if self._initial is None:
             self._initial = self.registry.snapshot()
         self.injector.arm()
-        self.sim.run(until=until, max_events=max_events)
+
+        crash = self._pending_crash
+        crashed = False
+        if crash is None:
+            self.sim.run(until=until, max_events=max_events)
+        elif crash.at is not None and \
+                (until is None or until >= crash.at):
+            # A crash only fires while the hub is active: if the queue
+            # drains first, the run completes at its natural end (the
+            # clock does not advance to the crash time) and the crash
+            # stays pending for any later activity.
+            self.sim.run(until=crash.at, max_events=max_events,
+                         advance_clock=False)
+            crashed = self.sim.now >= crash.at
+            if not crashed and until is not None and until > self.sim.now:
+                self.sim.run(until=until, max_events=max_events)
+        elif crash.at is not None:
+            self.sim.run(until=until, max_events=max_events)
+        else:
+            self.sim.run(until=until, max_events=max_events,
+                         stop_after_events=crash.after_events)
+            crashed = self.sim.events_processed >= crash.after_events
+
+        if crashed:
+            # The hub dies here: pending simulator events (in-flight
+            # commands, timers) are lost with the process; only the WAL
+            # and checkpoints survive.
+            self._pending_crash = None
+            self._crashed = True
+            if self.durability is not None:
+                self.durability.mark_crash(crash.to_payload())
+            self.feedback.hub_crashed(self.sim.now)
         self._last_result = RunResult.from_controller(self.controller)
         return self._last_result
+
+    # -- crash / recovery (docs/durability.md) ------------------------------------------
+
+    def crash(self, at: Optional[float] = None,
+              after_events: Optional[int] = None) -> None:
+        """Schedule a hub crash at a virtual time or total event index.
+
+        The crash fires during the next :meth:`run` when the simulation
+        reaches the point; requires durability (there is nothing to
+        recover from otherwise).
+        """
+        self._ensure_alive()
+        if self.durability is None:
+            raise SafeHomeError(
+                "crash/recovery needs a durable hub: construct with "
+                "SafeHome(..., durability=True)")
+        if self._pending_crash is not None:
+            raise SafeHomeError("a crash is already scheduled")
+        plan = CrashPlan(at=at, after_events=after_events)
+        self._pending_crash = plan
+        self._record_input("crash-scheduled", plan.to_payload())
+
+    def recover(self, mode: Optional[str] = None) -> RecoveryReport:
+        """Rebuild the hub from its checkpoint + write-ahead log.
+
+        Deterministic replay: a fresh stack re-applies the WAL's input
+        records and re-executes to the exact crash boundary; the
+        regenerated observation stream and checkpoint digests are
+        verified against the log (:class:`~repro.errors.RecoveryError`
+        on divergence).  ``mode`` is ``"replay"`` (resume everything
+        exactly) or ``"policy"`` (each visibility model decides the
+        fate of routines caught mid-execution).
+        """
+        if self.durability is None:
+            raise SafeHomeError("durability is not enabled")
+        if not self._crashed:
+            raise SafeHomeError("the hub has not crashed")
+        mode = mode or self.durability.config.recovery
+        if mode not in RECOVERY_MODES:
+            raise ValueError(f"unknown recovery mode {mode!r}; "
+                             f"pick from {RECOVERY_MODES}")
+        started = DurabilityManager.wall_clock()
+        old_manager = self.durability
+        old_records = list(old_manager.wal.records)
+        old_checkpoints = list(old_manager.checkpoints)
+        crash_record = next(r for r in reversed(old_records)
+                            if r.type == "crash")
+
+        # Fresh stack + fresh manager; the old WAL is the recovery input.
+        self._crashed = False
+        self._pending_crash = None
+        try:
+            self._build_stack()
+            self._attach_durability(old_manager.config)
+
+            for record in old_records:
+                if record.type in ("home-created", "crash") or \
+                        not record.is_input:
+                    # home-created was re-recorded by _attach_durability;
+                    # crash markers and observations regenerate during
+                    # replay.
+                    continue
+                self._replay_input(record)
+            if not self._crashed:
+                raise RecoveryError(
+                    "replay finished without reaching the crash point "
+                    "(corrupt or truncated WAL)")
+
+            divergence = self._verify_replay(old_records,
+                                             old_checkpoints)
+            if divergence:
+                raise RecoveryError(f"replay diverged from the WAL: "
+                                    f"{divergence}")
+        except BaseException:
+            # A failed recovery must not leave a half-replayed stack
+            # accepting work: stay crashed, and point durability back at
+            # the intact pre-crash WAL so recover() can be retried.
+            self._crashed = True
+            self._pending_crash = None
+            self.durability = old_manager
+            raise
+
+        resumed, aborted = self._apply_recovery_policy(mode)
+        self._crashed = False
+        self.durability.record_input("recovery", {
+            "mode": mode, "events": self.sim.events_processed})
+        self.feedback.hub_restarted(self.sim.now, mode)
+        report = RecoveryReport(
+            mode=mode,
+            crash_time=crash_record.payload["time"],
+            crash_events=crash_record.payload["events"],
+            replayed_events=self.sim.events_processed,
+            replayed_records=len([r for r in old_records
+                                  if r.is_observation]),
+            wal_records=len(old_records)
+            + old_manager.wal.compacted_observations,
+            checkpoints_verified=len(old_checkpoints),
+            resumed=resumed,
+            aborted=aborted,
+            wall_s=DurabilityManager.wall_clock() - started)
+        self.recoveries.append(report)
+        return report
+
+    def _replay_input(self, record) -> None:
+        """Re-apply one durable input record to the rebuilt stack."""
+        if self._crashed and record.type != "recovery":
+            raise RecoveryError(
+                f"input record {record.type!r} follows a crash with no "
+                "recovery record")
+        payload = record.payload
+        # Carry the input history forward so the new WAL remains a
+        # complete recipe (a second crash replays through this one).
+        self.durability.wal.copy_record(record)
+        if record.type == "device-added":
+            self.registry.create(payload["type"], payload["name"])
+        elif record.type == "routine-registered":
+            self.bank.register(parse_routine(payload["spec"], self.registry),
+                               replace=payload["replace"])
+        elif record.type == "failure-planned":
+            self.injector.add(FailurePlan(
+                payload["device_id"], payload["fail_at"],
+                payload["restart_at"]))
+        elif record.type == "invoked":
+            self.controller.submit(
+                parse_routine(payload["spec"], self.registry),
+                when=payload["when"])
+        elif record.type == "streams-attached":
+            attach_streams(self.controller, [
+                [parse_routine(spec, self.registry) for spec in stream]
+                for stream in payload["streams"]])
+        elif record.type == "cancelled":
+            run = self.controller.run_by_id(payload["routine_id"])
+            if payload["at"] is None:
+                self.controller.request_abort(run, "cancelled by user")
+            else:
+                self.sim.call_at(payload["at"],
+                                 self.controller.request_abort, run,
+                                 "cancelled by user")
+        elif record.type == "crash-scheduled":
+            self._pending_crash = CrashPlan.from_payload(payload)
+        elif record.type == "run":
+            self._run_core(until=payload["until"],
+                           detector=payload["detector"],
+                           max_events=payload["max_events"])
+        elif record.type == "recovery":
+            # An earlier recovery: re-apply its (deterministic) policy
+            # decisions and bring the hub back up, as it did then.
+            self._apply_recovery_policy(payload["mode"])
+            self._crashed = False
+            self.feedback.hub_restarted(self.sim.now, payload["mode"])
+        else:
+            raise RecoveryError(f"unexpected input record {record.type!r}")
+
+    def _apply_recovery_policy(self, mode: str) -> tuple:
+        """Decide the fate of routines caught mid-execution.
+
+        Waiting admissions are durable (lock table / lineage placements
+        replayed) and always survive; only RUNNING routines are subject
+        to the per-model policy.  Returns (resumed_ids, aborted_ids).
+        """
+        resumed: List[int] = []
+        aborted: List[int] = []
+        for run in self.controller.runs:
+            if run.done or run.status is not RoutineStatus.RUNNING:
+                continue
+            action = "resume" if mode == "replay" \
+                else self.controller.hub_recovery_action(run)
+            if action == "abort":
+                self.controller.request_abort(
+                    run, "hub crash: strict visibility cannot span a "
+                         "hub outage")
+                aborted.append(run.routine_id)
+            else:
+                resumed.append(run.routine_id)
+        return resumed, aborted
+
+    def _verify_replay(self, old_records, old_checkpoints
+                       ) -> Optional[str]:
+        """Cross-check regenerated observations and checkpoint digests
+        against the pre-crash log; returns a description on mismatch."""
+        old_obs = [r for r in old_records if r.is_observation]
+        new_obs = [r for r in self.durability.wal.records
+                   if r.is_observation]
+        # Compaction may have dropped the oldest observations; the
+        # checkpoint digests below still cover that prefix.
+        tail = new_obs[-len(old_obs):] if old_obs else []
+        if len(new_obs) < len(old_obs):
+            return (f"regenerated only {len(new_obs)} observation "
+                    f"records, WAL holds {len(old_obs)}")
+        for index, (old, new) in enumerate(zip(old_obs, tail)):
+            if old.identity() != new.identity():
+                return (f"observation #{index} differs: logged "
+                        f"{old.identity()}, replayed {new.identity()}")
+        new_checkpoints = self.durability.checkpoints
+        if len(new_checkpoints) != len(old_checkpoints):
+            return (f"replay produced {len(new_checkpoints)} "
+                    f"checkpoints, WAL holds {len(old_checkpoints)}")
+        for index, (old, new) in enumerate(zip(old_checkpoints,
+                                               new_checkpoints)):
+            if old.digest != new.digest:
+                return f"checkpoint #{index} digest mismatch"
+        return None
 
     # -- inspection ---------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from repro.metrics.congruence import (end_state_of_order,
                                       serial_end_state_exists,
                                       temporary_incongruence)
 from repro.metrics.fleet import aggregate_homes
+from repro.metrics.recovery import recovery_summary, recovery_wall_summary
 from repro.metrics.serialization import (reconstruct_serial_order,
                                          validate_serial_order)
 from repro.metrics.stats import (cdf_points, mean, normalized_swap_distance,
@@ -37,4 +38,6 @@ __all__ = [
     "MetricsReport",
     "analyze",
     "aggregate_homes",
+    "recovery_summary",
+    "recovery_wall_summary",
 ]

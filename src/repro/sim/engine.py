@@ -1,6 +1,6 @@
 """The discrete-event simulator driving all SafeHome experiments."""
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import VirtualClock
@@ -26,6 +26,12 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._processed = 0
+        # Fired after each event completes (between events, never inside
+        # a callback).  The durability layer checkpoints here so captured
+        # state is always at an event boundary — which is also the only
+        # granularity at which `stop_after_events` can stop, so replay
+        # can reach the exact same boundary deterministically.
+        self._post_event_hooks: List[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -62,20 +68,39 @@ class Simulator:
         event.cancel()
         self._queue.notify_cancel()
 
+    def add_post_event_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback fired after every processed event."""
+        self._post_event_hooks.append(hook)
+
     def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
+            max_events: Optional[int] = None,
+            stop_after_events: Optional[int] = None,
+            advance_clock: bool = True) -> float:
         """Process events until the queue drains or a bound is hit.
 
         Args:
             until: stop once the next event is strictly later than this
                 time (the clock is still advanced to ``until``).
             max_events: safety valve against runaway simulations.
+            stop_after_events: stop cleanly once the *total* processed
+                count (:attr:`events_processed`, cumulative across run
+                calls) reaches this value — the hub-crash injection
+                point, exactly replayable because the counter is part of
+                the deterministic trace.
+            advance_clock: when False, a run whose queue drains *before*
+                ``until`` keeps the clock at the last event instead of
+                advancing to ``until`` (used by crash bounds: a crash
+                time past the natural end must not inflate makespan).
+                Runs stopped mid-queue still advance to ``until``.
 
         Returns:
             The virtual time when the run stopped.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
+        if stop_after_events is not None and \
+                self._processed >= stop_after_events:
+            return self.now
         self._running = True
         try:
             while self._queue:
@@ -89,11 +114,16 @@ class Simulator:
                 self.clock.advance_to(event.time)
                 event.fire()
                 self._processed += 1
+                for hook in self._post_event_hooks:
+                    hook()
+                if stop_after_events is not None and \
+                        self._processed >= stop_after_events:
+                    return self.now
                 if max_events is not None and self._processed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
-            if until is not None and until > self.now:
+            if advance_clock and until is not None and until > self.now:
                 self.clock.advance_to(until)
             return self.now
         finally:
@@ -107,4 +137,6 @@ class Simulator:
         self.clock.advance_to(event.time)
         event.fire()
         self._processed += 1
+        for hook in self._post_event_hooks:
+            hook()
         return True

@@ -3,6 +3,7 @@ trace-derived scenarios (Morning / Party / Factory, §7.2) and the
 heterogeneous per-home profiles of the fleet engine."""
 
 from repro.workloads.base import Workload, attach_streams
+from repro.workloads.chaos import ChaosResult, chaos_workload, run_chaos
 from repro.workloads.fleet_mix import (DEFAULT_MIX, FLEET_SCENARIOS,
                                        build_fleet_workload, cooling_scenario,
                                        factory_line_scenario,
@@ -27,4 +28,7 @@ __all__ = [
     "scenario_for_home",
     "DEFAULT_MIX",
     "FLEET_SCENARIOS",
+    "chaos_workload",
+    "run_chaos",
+    "ChaosResult",
 ]

@@ -1,0 +1,385 @@
+"""Durable hub: WAL, checkpoints, snapshot contracts, crash/recovery."""
+
+import json
+
+import pytest
+
+from repro.core.command import Command
+from repro.core.controller import ControllerConfig
+from repro.core.execution.locks import GLOBAL, LockMode, LockTable
+from repro.core.execution.plan import CommandPlan, NodeState
+from repro.core.execution.queues import DeviceQueues
+from repro.core.lineage import UNSET, Lineage, LineageTable, LockAccess
+from repro.errors import HubCrashedError, SafeHomeError
+from repro.hub.durability import (DurabilityConfig, WriteAheadLog,
+                                  state_digest)
+from repro.hub.log import FeedbackKind
+from repro.hub.safehome import SafeHome
+from tests.conftest import routine
+
+
+def build_home(model="ev", execution=None, seed=3, durability=True,
+               config=None):
+    home = SafeHome(visibility=model, execution=execution, seed=seed,
+                    durability=durability, config=config)
+    home.add_device("window", "w")
+    home.add_device("ac", "a")
+    home.add_device("light", "l")
+    home.register_routine_spec({"routineName": "cool", "commands": [
+        {"device": "w", "action": "CLOSED", "durationSec": 2},
+        {"device": "a", "action": "ON", "durationSec": 3}]})
+    home.register_routine_spec({"routineName": "party", "commands": [
+        {"device": "l", "action": "ON", "durationSec": 1},
+        {"device": "a", "action": "OFF", "durationSec": 2}]})
+    home.plan_failure("l", fail_at=1.5, restart_at=4.0)
+    home.invoke("cool")
+    home.invoke("party", at=0.5)
+    return home
+
+
+def report_json(home):
+    return json.dumps(home.report().row(), sort_keys=True, default=repr)
+
+
+def build_home_run():
+    home = build_home()
+    home.run()
+    return home
+
+
+class TestWriteAheadLog:
+    def test_append_and_views(self):
+        wal = WriteAheadLog()
+        wal.append("device-added", {"type": "light", "name": "l"}, 0.0)
+        wal.append("command-dispatched", {"routine_id": 0}, 1.0)
+        assert len(wal.inputs()) == 1
+        assert len(wal.observations()) == 1
+        assert wal.stats()["_total"] == 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog().append("nonsense", {}, 0.0)
+
+    def test_json_round_trip(self):
+        wal = WriteAheadLog()
+        wal.append("invoked", {"spec": {"routineName": "r"}, "when": 1.5},
+                   1.5)
+        wal.append("detection", {"kind": "failure", "device_id": 2}, 2.0)
+        restored = WriteAheadLog.from_json(wal.to_json())
+        assert [r.to_dict() for r in restored.records] == \
+            [r.to_dict() for r in wal.records]
+
+    def test_compaction_drops_only_old_observations(self):
+        wal = WriteAheadLog()
+        wal.append("device-added", {"name": "d"}, 0.0)
+        wal.append("command-acked", {"i": 0}, 0.1)
+        wal.append("command-acked", {"i": 1}, 0.2)
+        floor = wal.records[-1].seq
+        removed = wal.compact(floor)
+        assert removed == 1
+        assert [r.type for r in wal.records] == \
+            ["device-added", "command-acked"]
+        assert wal.compacted_observations == 1
+
+
+class TestSnapshotContracts:
+    def test_lock_table_round_trip(self):
+        table = LockTable()
+        table.acquire(1, GLOBAL, now=0.5)
+        table.acquire(2, GLOBAL, now=0.7)           # queued FIFO
+        table.acquire(1, 7, mode=LockMode.SHARED, now=0.9, deadline=5.0)
+        snap = table.snapshot()
+        restored = LockTable()
+        restored.restore(snap)
+        assert restored.holds(1, GLOBAL)
+        assert restored.waiting_on(2) == [GLOBAL]
+        assert restored.snapshot() == snap
+        # the snapshot is JSON-serializable as-is
+        json.dumps(snap)
+
+    def test_command_plan_round_trip(self):
+        commands = [Command(device_id=0, value="ON", duration=1.0),
+                    Command(device_id=1, value="ON", duration=1.0),
+                    Command(device_id=0, value="OFF", duration=1.0)]
+        plan = CommandPlan(commands, strategy="parallel")
+        plan.mark_issued(plan.ready_indexes()[0], now=0.0)
+        plan.mark_done(0, now=1.0)
+        snap = plan.snapshot()
+        clone = CommandPlan(commands, strategy="parallel")
+        clone.restore(snap)
+        assert clone.nodes[0].state is NodeState.DONE
+        assert clone.remaining() == plan.remaining()
+        assert clone.ready_indexes() == plan.ready_indexes()
+
+    def test_command_plan_restore_rejects_mismatch(self):
+        commands = [Command(device_id=0, value="ON", duration=1.0)]
+        snap = CommandPlan(commands, strategy="serial").snapshot()
+        with pytest.raises(ValueError):
+            CommandPlan(commands, strategy="parallel").restore(snap)
+
+    def test_device_queue_snapshot(self):
+        queues = DeviceQueues()
+        queues.submit(1, lambda: True)
+        queues.submit(1, lambda: True)
+        assert queues.snapshot() == {"busy": [1], "depths": {1: 1}}
+
+    def test_lineage_round_trip(self):
+        lineage = Lineage(4, committed_state="OFF")
+        lineage.append(LockAccess(routine_id=1, device_id=4,
+                                  planned_start=0.0, duration=2.0))
+        lineage.acquire(1, 0.1)
+        lineage.entries[0].applied_value = "ON"
+        lineage.release(1, 0.4)
+        lineage.append(LockAccess(routine_id=2, device_id=4,
+                                  planned_start=2.0, duration=1.0))
+        restored = Lineage(4)
+        restored.restore(lineage.snapshot())
+        assert restored.owners() == [1, 2]
+        assert restored.inferred_state() == "ON"
+        assert restored.entries[1].applied_value is UNSET
+        assert restored.snapshot() == lineage.snapshot()
+
+    def test_lineage_table_round_trip(self):
+        table = LineageTable(committed_lookup=lambda d: "OFF")
+        table.lineage(0).append(LockAccess(routine_id=9, device_id=0))
+        restored = LineageTable()
+        restored.restore(table.snapshot())
+        assert restored.lineage(0).owners() == [9]
+
+    def test_registry_full_round_trip(self, home_factory):
+        home = home_factory(n_devices=2)
+        device = home.registry.get(0)
+        device.apply("ON", 1.0, source=7)
+        home.registry.get(1).fail()
+        snap = home.registry.snapshot_full()
+        device.state = "SCRAMBLED"
+        home.registry.get(1).restart()
+        home.registry.restore_full(snap)
+        assert home.registry.get(0).state == "ON"
+        assert home.registry.get(1).failed
+
+    def test_controller_snapshots_are_digestable(self):
+        for model in ("wv", "gsv", "psv", "ev", "occ"):
+            home = build_home(model=model)
+            home.run(until=1.0)
+            digest = state_digest(home._capture_state())
+            assert len(digest) == 64
+
+
+class TestCrashRecoverApi:
+    def test_crash_requires_durability(self):
+        home = SafeHome(visibility="ev", durability=None)
+        with pytest.raises(SafeHomeError):
+            home.crash(after_events=1)
+
+    def test_crash_needs_exactly_one_point(self):
+        home = build_home()
+        with pytest.raises(ValueError):
+            home.crash()
+        with pytest.raises(ValueError):
+            home.crash(at=1.0, after_events=5)
+
+    def test_crashed_hub_rejects_operations(self):
+        home = build_home()
+        home.crash(after_events=5)
+        home.run()
+        assert home.crashed
+        with pytest.raises(HubCrashedError):
+            home.run()
+        with pytest.raises(HubCrashedError):
+            home.invoke("cool")
+        with pytest.raises(HubCrashedError):
+            home.add_device("light", "l2")
+
+    def test_recover_requires_crash(self):
+        home = build_home()
+        with pytest.raises(SafeHomeError):
+            home.recover()
+
+    def test_crash_at_time_past_end_never_fires(self):
+        home = build_home()
+        home.crash(at=1e6)
+        home.run()
+        assert not home.crashed
+        # makespan is the natural end, not the crash bound
+        assert home.last_result.makespan < 1e5
+
+    def test_journaling_does_not_change_behavior(self):
+        durable = build_home(durability=True)
+        durable.run()
+        plain = build_home(durability=False)
+        plain.run()
+        assert report_json(durable) == report_json(plain)
+
+    def test_recovery_report_counts(self):
+        home = build_home()
+        home.crash(after_events=10)
+        home.run()
+        report = home.recover()
+        assert report.mode == "replay"
+        assert report.crash_events == 10
+        assert report.replayed_events == 10
+        assert report.replayed_records > 0
+        assert home.recoveries == [report]
+
+    def test_multi_crash_recover_is_congruent(self):
+        baseline = build_home()
+        baseline.run()
+        home = build_home()
+        for point in (8, 20, 33):
+            home.crash(after_events=point)
+            home.run()
+            home.recover()
+        home.run()
+        assert report_json(home) == report_json(baseline)
+        assert len(home.recoveries) == 3
+
+    def test_checkpoints_and_compaction_stay_congruent(self):
+        config = DurabilityConfig(checkpoint_every=5,
+                                  compact_on_checkpoint=True)
+        baseline = build_home(durability=config)
+        baseline.run()
+        home = build_home(durability=DurabilityConfig(
+            checkpoint_every=5, compact_on_checkpoint=True))
+        home.crash(after_events=30)
+        home.run()
+        report = home.recover()
+        home.run()
+        assert report.checkpoints_verified > 0
+        assert report_json(home) == report_json(baseline)
+
+    def test_failed_recovery_leaves_hub_crashed_and_retryable(self,
+                                                              monkeypatch):
+        """Regression: an exception escaping replay used to leave the
+        hub marked alive on a half-replayed stack."""
+        home = build_home()
+        home.crash(after_events=10)
+        home.run()
+        original = SafeHome._replay_input
+        calls = {"n": 0}
+
+        def explode_once(self, record):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("boom mid-replay")
+            return original(self, record)
+
+        monkeypatch.setattr(SafeHome, "_replay_input", explode_once)
+        with pytest.raises(RuntimeError):
+            home.recover()
+        assert home.crashed
+        with pytest.raises(HubCrashedError):
+            home.invoke("cool")
+        monkeypatch.setattr(SafeHome, "_replay_input", original)
+        report = home.recover()      # retry succeeds on the intact WAL
+        home.run()
+        assert report.replayed_events == 10
+        assert report_json(home) == report_json(build_home_run())
+
+    def test_wal_survives_crash_and_serializes(self):
+        home = build_home()
+        home.crash(after_events=12)
+        home.run()
+        home.recover()
+        home.run()
+        restored = WriteAheadLog.from_json(home.wal.to_json())
+        types = [r.type for r in restored.records]
+        assert "crash" in types and "recovery" in types
+        assert types[0] == "home-created"
+
+
+class TestRecoveryPolicy:
+    def test_policy_table(self):
+        expected = {"wv": "resume", "gsv": "abort", "sgsv": "abort",
+                    "psv": "abort", "ev": "resume", "occ": "resume"}
+        from repro.core.visibility import VisibilityModel, _CONTROLLERS
+        for model, policy in expected.items():
+            cls = _CONTROLLERS[VisibilityModel.parse(model)]
+            assert cls.hub_recovery_policy == policy, model
+
+    @pytest.mark.parametrize("model,aborts", [
+        ("gsv", True), ("psv", True), ("wv", False), ("ev", False),
+        ("occ", False)])
+    def test_policy_mode_fate_of_running_routines(self, model, aborts):
+        home = build_home(model=model)
+        home.crash(at=0.8)        # mid-execution for every model
+        home.run()
+        report = home.recover(mode="policy")
+        home.run()
+        assert bool(report.aborted) == aborts
+        if aborts:
+            run = home.controller.run_by_id(report.aborted[0])
+            assert "hub" in run.abort_reason
+
+    def test_ev_policy_mode_stays_congruent(self):
+        baseline = build_home(model="ev")
+        baseline.run()
+        home = build_home(model="ev")
+        home.crash(at=0.8)
+        home.run()
+        home.recover(mode="policy")
+        home.run()
+        assert report_json(home) == report_json(baseline)
+
+
+class TestFeedbackRestartWiring:
+    def test_device_restart_feedback_emitted_live(self):
+        """Regression: DEVICE_RESTARTED entries used to require an
+        explicit record_detections() back-fill and were dropped in
+        every live path."""
+        home = build_home(durability=False)
+        home.run()
+        kinds = [e.kind for e in home.feedback.entries]
+        assert FeedbackKind.DEVICE_FAILED in kinds
+        assert FeedbackKind.DEVICE_RESTARTED in kinds
+
+    def test_record_detections_is_idempotent_after_live_wiring(self):
+        home = build_home(durability=False)
+        home.run()
+        before = len(home.feedback.entries)
+        home.feedback.record_detections()
+        home.feedback.record_detections()
+        assert len(home.feedback.entries) == before
+
+    def test_late_attached_log_backfills_without_duplicates(self):
+        """Regression: a log attached to an already-running controller
+        used to refold the live tail and skip the pre-attach head."""
+        from repro.hub.log import FeedbackLog
+
+        home = build_home(durability=False)
+        home.run(until=3.0)            # failure@1.5 detected ~2.1
+        assert home.controller.detection_events
+        late = FeedbackLog(home.controller)
+        home.run()                      # restart@4.0 arrives live
+        late.record_detections()        # back-fill the pre-attach head
+        late.record_detections()        # idempotent
+        detections = [(e.kind, e.detail) for e in late.entries
+                      if e.kind in (FeedbackKind.DEVICE_FAILED,
+                                    FeedbackKind.DEVICE_RESTARTED)]
+        assert len(detections) == len(home.controller.detection_events)
+        assert len(set(detections)) == len(detections)
+
+    def test_hub_crash_and_restart_feedback(self):
+        home = build_home()
+        home.crash(after_events=10)
+        home.run()
+        home.recover()
+        kinds = [e.kind for e in home.feedback.entries]
+        assert FeedbackKind.HUB_CRASHED in kinds
+        assert FeedbackKind.HUB_RESTARTED in kinds
+
+
+class TestParallelDispatchRegression:
+    def test_believed_failed_device_does_not_double_issue(self,
+                                                          home_factory):
+        """Regression: a command to a believed-failed device resolves
+        synchronously, re-entering _dispatch mid-iteration; the outer
+        loop then issued later-ready nodes a second time."""
+        config = ControllerConfig(execution="parallel")
+        home = home_factory(model="ev", n_devices=3, config=config)
+        home.detect_failure(0, at=0.0)
+        home.submit(routine("r", [(0, "ON", 1.0, False),
+                                  (1, "ON", 1.0), (2, "ON", 1.0)]),
+                    when=0.5)
+        result = home.run()
+        assert result.runs[0].done
