@@ -5,18 +5,21 @@ figures; DESIGN.md motivates each sweep).
 * Timeline duration-estimate error,
 * failure-detector ping period (paper fixes 1 s),
 * network jitter behind Fig 1's incongruence.
+
+Thin wrapper over the registered ``ablations`` benchmark; each test
+requests exactly one of its sweeps.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments.ablations import (ablate_detector_period,
-                                         ablate_estimate_error,
-                                         ablate_leniency,
-                                         ablate_network_jitter)
+from benchmarks.conftest import bench_metrics, run_once
 from repro.experiments.report import print_table
 
 
+def _sweep(name, **params):
+    return bench_metrics("ablations", sweeps=(name,), **params)[name]
+
+
 def test_ablation_leniency(benchmark):
-    rows = run_once(benchmark, ablate_leniency, trials=5)
+    rows = run_once(benchmark, _sweep, "leniency", trials=5)
     print_table("Ablation: lease-revocation leniency factor "
                 "(estimate error 50%)", rows)
     # Tighter leniency under noisy estimates -> no fewer aborts than
@@ -25,7 +28,7 @@ def test_ablation_leniency(benchmark):
 
 
 def test_ablation_estimate_error(benchmark):
-    rows = run_once(benchmark, ablate_estimate_error, trials=5)
+    rows = run_once(benchmark, _sweep, "estimate_error", trials=5)
     print_table("Ablation: Timeline duration-estimate error", rows)
     # Even 100% estimate error must not break execution (placements
     # degrade gracefully; work-conserving execution absorbs it).
@@ -36,7 +39,7 @@ def test_ablation_estimate_error(benchmark):
 
 
 def test_ablation_detector_period(benchmark):
-    rows = run_once(benchmark, ablate_detector_period, trials=4)
+    rows = run_once(benchmark, _sweep, "detector_period", trials=4)
     print_table("Ablation: failure-detector ping period", rows)
     # Detection lag grows with the ping period and is bounded by it
     # (plus latency/timeout), except when implicit detection fires first.
@@ -47,7 +50,8 @@ def test_ablation_detector_period(benchmark):
 
 
 def test_ablation_network_jitter(benchmark):
-    rows = run_once(benchmark, ablate_network_jitter, trials=30)
+    rows = run_once(benchmark, _sweep, "network_jitter",
+                    jitter_trials=30)
     print_table("Ablation: network jitter vs WV incongruence (Fig 1's "
                 "mechanism)", rows)
     # Zero jitter -> deterministic ordering -> no incongruence; jitter

@@ -4,15 +4,17 @@ Visibility.
 Paper: two routines (all-ON / all-OFF) over 2-15 TP-Link devices; the
 fraction of non-serialized end states grows with device count and
 shrinks as R2's start offset grows.
+
+Thin wrapper over the registered ``weak_visibility`` benchmark
+(``repro bench --filter weak_visibility``).
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments.figures import fig01_weak_visibility
+from benchmarks.conftest import bench_rows, run_once
 from repro.experiments.report import print_table
 
 
 def test_fig01_incongruence_vs_devices(benchmark):
-    rows = run_once(benchmark, fig01_weak_visibility,
+    rows = run_once(benchmark, bench_rows, "weak_visibility",
                     device_counts=(2, 4, 6, 8, 10, 12, 15),
                     offsets=(0.0, 0.5, 1.0, 2.0), trials=40)
     print_table("Fig 1: fraction of incongruent end states (WV)", rows)

@@ -5,10 +5,11 @@ Paper shapes: EV's latency tracks WV (0-23% worse); GSV's is ~16x worse
 at the median with ~3x less parallelism; only EV (among the fast ones)
 plus PSV/GSV keep serial equivalence; the Party scenario's long routine
 hurts PSV (head-of-line blocking) but not EV.
+
+Thin wrapper over the registered ``scenarios`` benchmark.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments.figures import fig12a_scenarios
+from benchmarks.conftest import bench_rows, run_once
 from repro.experiments.report import print_table
 
 
@@ -18,7 +19,7 @@ def _by(rows, scenario):
 
 
 def test_fig12a_scenarios(benchmark):
-    rows = run_once(benchmark, fig12a_scenarios, trials=10)
+    rows = run_once(benchmark, bench_rows, "scenarios", trials=10)
     print_table("Fig 12a: scenario sweeps", rows)
 
     for scenario in ("morning", "party"):

@@ -3,15 +3,16 @@ the end state equivalent to one of the 9! serial orders?
 
 Paper: WV ends incongruent in a substantial fraction of runs; EV, PSV
 and GSV are always serially equivalent.
+
+Thin wrapper over the registered ``final_incongruence`` benchmark.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments.figures import fig12b_final_incongruence
+from benchmarks.conftest import bench_rows, run_once
 from repro.experiments.report import print_table
 
 
 def test_fig12b_final_incongruence(benchmark):
-    rows = run_once(benchmark, fig12b_final_incongruence,
+    rows = run_once(benchmark, bench_rows, "final_incongruence",
                     runs=100, n_routines=9)
     print_table("Fig 12b: final incongruence over 100 runs "
                 "(9 routines, 9! serial orders checked)", rows)

@@ -3,15 +3,16 @@
 Paper: at ρ=4 Timeline is 2.36x / 1.33x faster than FCFS / JiT and
 reaches 2.0-2.3x their parallelism; the ordering TL <= JiT <= FCFS in
 latency holds across concurrency levels.
+
+Thin wrapper over the registered ``schedulers`` benchmark.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments.figures import fig14_schedulers
+from benchmarks.conftest import bench_rows, run_once
 from repro.experiments.report import print_table
 
 
 def test_fig14_schedulers(benchmark):
-    rows = run_once(benchmark, fig14_schedulers, trials=8,
+    rows = run_once(benchmark, bench_rows, "schedulers", trials=8,
                     concurrencies=(1, 2, 4, 8))
     print_table("Fig 14: FCFS vs JiT vs Timeline (EV)", rows)
 

@@ -5,15 +5,16 @@ Paper: turning both lease kinds off raises latency 3x-5.5x; disabling
 post-leases hurts more (71-107%) than disabling pre-leases (29-50%);
 disabling leases reduces temporary incongruence; the stretch-factor
 distribution first widens then narrows as routines grow.
+
+Thin wrapper over the registered ``leasing`` and ``stretch`` benchmarks.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments.figures import fig15ab_leasing, fig15c_stretch
+from benchmarks.conftest import bench_rows, run_once
 from repro.experiments.report import print_table
 
 
 def test_fig15ab_leasing_ablation(benchmark):
-    rows = run_once(benchmark, fig15ab_leasing, trials=8,
+    rows = run_once(benchmark, bench_rows, "leasing", trials=8,
                     concurrencies=(2, 4, 8))
     print_table("Fig 15a/15b: leasing ablation (EV/TL)", rows)
 
@@ -35,11 +36,9 @@ def test_fig15ab_leasing_ablation(benchmark):
 
 
 def test_fig15c_stretch_factor(benchmark):
-    rows = run_once(benchmark, fig15c_stretch, trials=8,
+    rows = run_once(benchmark, bench_rows, "stretch", trials=8,
                     command_counts=(2, 4, 8))
-    printable = [{k: v for k, v in row.items() if k != "cdf"}
-                 for row in rows]
-    print_table("Fig 15c: stretch factor vs routine size", printable)
+    print_table("Fig 15c: stretch factor vs routine size", rows)
     # Stretch exists under contention but stays bounded.
     for row in rows:
         assert row["stretch_p50"] >= 1.0

@@ -4,10 +4,12 @@ Paper shapes: GSV's latency grows fastest with C; PSV starts near
 EV/WV for small routines but approaches GSV as C grows; EV stays the
 fastest serializing model; rising α (popularity skew) slows PSV toward
 GSV while EV stays close to WV.
+
+Thin wrapper over the registered ``routine_size`` and
+``device_popularity`` benchmarks.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments.figures import fig16_routine_size, fig16d_popularity
+from benchmarks.conftest import bench_rows, run_once
 from repro.experiments.report import print_table
 
 
@@ -17,7 +19,7 @@ def _lat(rows, model, key, value):
 
 
 def test_fig16abc_routine_size(benchmark):
-    rows = run_once(benchmark, fig16_routine_size, trials=8,
+    rows = run_once(benchmark, bench_rows, "routine_size", trials=8,
                     command_counts=(1, 2, 3, 4, 6, 8))
     print_table("Fig 16a-c: impact of commands per routine", rows)
 
@@ -44,7 +46,7 @@ def test_fig16abc_routine_size(benchmark):
 
 
 def test_fig16d_device_popularity(benchmark):
-    rows = run_once(benchmark, fig16d_popularity, trials=8,
+    rows = run_once(benchmark, bench_rows, "device_popularity", trials=8,
                     alphas=(0.0, 0.05, 0.5, 1.0))
     print_table("Fig 16d: device popularity (Zipf alpha) vs latency",
                 rows)

@@ -1,14 +1,16 @@
 """Fleet scale-out: homes/sec throughput at N ∈ {1, 10, 100, 1000}.
 
-Each datapoint simulates an N-home fleet under the default
-heterogeneous mix (morning / factory-line / cooling) and reports
-wall-clock throughput.  Run standalone for the quick table::
+Thin wrapper over the registered ``fleet_scale`` (smoke) and
+``fleet_scale_sweep`` (full) benchmarks.  Run standalone for the quick
+table::
 
     PYTHONPATH=src python benchmarks/bench_fleet_scale.py
 
-or under pytest-benchmark for calibrated timings::
+or through the unified harness for calibrated min-of-N timings and the
+baseline gate::
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_scale.py
+    PYTHONPATH=src python -m repro bench --filter fleet_scale \
+        --baseline benchmarks/baseline.json
 
 The serial backend is the baseline; on multi-core machines pass
 ``--backend process`` (standalone mode) to measure pool speedup.
@@ -51,6 +53,17 @@ def test_fleet_scale(benchmark, homes):
         "lat_p99": round(result.aggregate["latency"]["p99"], 2),
         "abort_rate": round(result.aggregate["abort_rate"], 4),
     }])
+
+
+def test_fleet_scale_registered_smoke_entry(benchmark):
+    """The harness entry reports the same aggregate as a direct run."""
+    from repro.bench import call
+
+    outcome = run_once(benchmark, call, "fleet_scale", homes=25)
+    direct = run_fleet_scale(25)
+    assert outcome["homes"] == 25
+    assert outcome["metrics"]["routines"] == \
+        direct.aggregate["routines"]
 
 
 def main() -> int:

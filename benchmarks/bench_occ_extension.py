@@ -9,47 +9,17 @@ for locks), but it pays a large and rising abort/undo tax — dozens of
 physically-executed commands rolled back per run, which is exactly the
 "disruptive to the human experience" cost the paper cites — while EV
 commits everything with zero undo.  The design choice is validated.
+
+Thin wrapper over the registered ``occ_extension`` benchmark.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_rows, run_once
 from repro.experiments.report import print_table
-from repro.experiments.runner import ExperimentSetup, run_workload
-from repro.metrics.stats import mean
-from repro.workloads.micro import MicroParams, generate_microbenchmark
-
-
-def occ_vs_ev(trials: int = 6, seed: int = 31,
-              alphas=(0.0, 0.5, 1.5)):
-    rows = []
-    for model in ("occ", "ev"):
-        for alpha in alphas:
-            params = MicroParams(routines=30, concurrency=4, devices=12,
-                                 zipf_alpha=alpha, long_routine_pct=10,
-                                 long_duration_s=120.0,
-                                 short_duration_s=5.0)
-            latencies, aborts, undo = [], [], []
-            for trial in range(trials):
-                workload = generate_microbenchmark(
-                    params, seed=seed * 37 + trial)
-                setup = ExperimentSetup(model=model, seed=seed + trial,
-                                        check_final=False)
-                result, report, _c = run_workload(workload, setup,
-                                                  trial=trial)
-                latencies.append(report.latency["p50"])
-                aborts.append(report.abort_rate)
-                undo.append(sum(r.rolled_back_commands
-                                for r in result.runs))
-            rows.append({
-                "model": model, "alpha": alpha,
-                "lat_p50": mean(latencies),
-                "abort_rate": mean(aborts),
-                "undo_commands_per_run": mean(undo),
-            })
-    return rows
 
 
 def test_occ_vs_ev_contention_sweep(benchmark):
-    rows = run_once(benchmark, occ_vs_ev)
+    rows = run_once(benchmark, bench_rows, "occ_extension", trials=6,
+                    alphas=(0.0, 0.5, 1.5))
 
     print_table("Extension: OCC vs EV across contention (Zipf alpha)",
                 rows)

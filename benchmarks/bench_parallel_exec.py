@@ -1,16 +1,15 @@
 """Serial vs parallel plan execution on the wide fan-out workload.
 
-For each visibility model, runs the fan-out scenario (disjoint wide
-routines — see :mod:`repro.workloads.fanout`) under both plan
-strategies and reports the virtual-time makespan, the per-plan makespan
-p50, the total lock-wait seconds and the speedup.  Run standalone for
-deterministic JSON::
+Thin wrapper over the registered ``parallel_exec`` smoke benchmark
+(the comparison logic lives in
+:mod:`repro.bench.suites.perf`).  Run standalone for deterministic
+JSON::
 
     PYTHONPATH=src python benchmarks/bench_parallel_exec.py
 
-or under pytest-benchmark for calibrated wall-clock timings::
+or through the unified harness for calibrated wall-clock timings::
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_exec.py
+    PYTHONPATH=src python -m repro bench --filter parallel_exec
 """
 
 import argparse
@@ -22,60 +21,25 @@ try:
     from benchmarks.conftest import run_once
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_....py
     run_once = None
-from repro.core.controller import ControllerConfig
-from repro.experiments.runner import ExperimentSetup, run_workload
-from repro.workloads.fanout import fanout_scenario
-
-MODELS = ("wv", "gsv", "psv", "ev", "occ")
-
-
-def run_fanout(model: str, execution: str, seed: int = 0,
-               routines: int = 6, width: int = 8):
-    workload = fanout_scenario(seed=seed, routines=routines, width=width)
-    setup = ExperimentSetup(
-        model=model, seed=seed, check_final=False,
-        config=ControllerConfig(execution=execution))
-    result, report, _controller = run_workload(workload, setup)
-    return result, report
-
-
-def compare(model: str, seed: int = 0, routines: int = 6,
-            width: int = 8) -> dict:
-    row = {}
-    for execution in ("serial", "parallel"):
-        result, report = run_fanout(model, execution, seed=seed,
-                                    routines=routines, width=width)
-        row[execution] = {
-            "makespan": round(result.makespan, 6),
-            "plan_makespan_p50": round(
-                report.plan_makespan.get("p50", 0.0), 6),
-            "lock_wait_total": round(
-                sum(run.lock_wait_s for run in result.runs), 6),
-            "committed": len(result.committed),
-            "aborted": len(result.aborted),
-        }
-    serial_p50 = row["serial"]["plan_makespan_p50"]
-    parallel_p50 = row["parallel"]["plan_makespan_p50"]
-    row["speedup"] = round(serial_p50 / parallel_p50, 3) \
-        if parallel_p50 > 0 else None
-    return row
+from repro.bench.suites.perf import (PARALLEL_EXEC_MODELS,
+                                     parallel_exec_compare)
 
 
 def bench_payload(seed: int = 0, routines: int = 6, width: int = 8) -> dict:
-    return {
-        "benchmark": "parallel_exec",
-        "workload": {"name": "fanout", "seed": seed,
-                     "routines": routines, "width": width},
-        "models": {model: compare(model, seed=seed, routines=routines,
-                                  width=width) for model in MODELS},
-    }
+    from repro.bench import call
+
+    metrics = call("parallel_exec", seed=seed, routines=routines,
+                   width=width)["metrics"]
+    return {"benchmark": "parallel_exec",
+            "workload": metrics["workload"],
+            "models": metrics["models"]}
 
 
-@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("model", PARALLEL_EXEC_MODELS)
 def test_parallel_speedup(benchmark, model):
     """The wide fan-out routine's makespan drops ≥1.5× under parallel
     plans for every model (disjoint footprints: pure planner win)."""
-    row = run_once(benchmark, compare, model)
+    row = run_once(benchmark, parallel_exec_compare, model)
     assert row["parallel"]["committed"] == row["serial"]["committed"]
     assert row["speedup"] is not None and row["speedup"] >= 1.5, row
 

@@ -11,13 +11,16 @@ cost scales with how much history must be re-executed and re-checked:
   recovery, but (with compaction) a shorter observation suffix to
   compare record-by-record.
 
-Run standalone for the JSON report::
+Thin wrapper over the registered ``recovery_replay`` (smoke) and
+``recovery_sweep`` (full) benchmarks; the builders live in
+:mod:`repro.bench.suites.recovery_util`.  Run standalone for the JSON
+report::
 
     PYTHONPATH=src python benchmarks/bench_recovery.py
 
-or under pytest-benchmark for calibrated timings::
+or through the unified harness::
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py
+    PYTHONPATH=src python -m repro bench --filter recovery_sweep
 """
 
 import argparse
@@ -29,75 +32,20 @@ try:
     from benchmarks.conftest import run_once
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_....py
     run_once = None
-from repro.hub.durability import DurabilityConfig
-from repro.hub.safehome import SafeHome
-from repro.workloads.chaos import chaos_workload
+from repro.bench.suites.recovery_util import build_home, crash_and_recover
 
 REPEATS = (1, 2, 4, 8)
 CHECKPOINT_INTERVALS = (8, 32, 128, 0)   # 0 = checkpoints disabled
 
-
-def build_home(repeats: int, checkpoint_every: int = 32,
-               compact: bool = False, seed: int = 7) -> SafeHome:
-    """A durable EV home running `repeats` copies of the chaos scene."""
-    home = SafeHome(visibility="ev", seed=seed,
-                    durability=DurabilityConfig(
-                        checkpoint_every=checkpoint_every,
-                        compact_on_checkpoint=compact))
-    workload = chaos_workload(seed)
-    home.load_workload(workload)
-    # Stack additional rounds of the same routines, shifted in time, so
-    # the WAL grows linearly with `repeats`.
-    for round_index in range(1, repeats):
-        offset = 20.0 * round_index
-        for routine, at in workload.arrivals:
-            home.invoke(routine, at=at + offset)
-    return home
-
-
-def crash_and_recover(repeats: int, checkpoint_every: int = 32,
-                      compact: bool = False):
-    """Run to near-completion, crash, recover; return (home, report)."""
-    probe = build_home(repeats, checkpoint_every, compact)
-    probe.run()
-    total_events = probe.sim.events_processed
-
-    home = build_home(repeats, checkpoint_every, compact)
-    home.crash(after_events=max(1, total_events - 1))
-    home.run()
-    report = home.recover()
-    home.run()
-    return home, report
+__all__ = ["build_home", "crash_and_recover"]
 
 
 def bench_rows(repeats_list=REPEATS, intervals=CHECKPOINT_INTERVALS):
-    rows = []
-    for repeats in repeats_list:
-        _home, report = crash_and_recover(repeats)
-        rows.append({
-            "sweep": "wal-length",
-            "repeats": repeats,
-            "checkpoint_every": 32,
-            "wal_records": report.wal_records,
-            "replayed_events": report.replayed_events,
-            "replayed_records": report.replayed_records,
-            "checkpoints_verified": report.checkpoints_verified,
-            "recovery_ms": round(report.wall_s * 1e3, 3),
-        })
-    for interval in intervals:
-        _home, report = crash_and_recover(
-            4, checkpoint_every=interval, compact=bool(interval))
-        rows.append({
-            "sweep": "checkpoint-interval",
-            "repeats": 4,
-            "checkpoint_every": interval,
-            "wal_records": report.wal_records,
-            "replayed_events": report.replayed_events,
-            "replayed_records": report.replayed_records,
-            "checkpoints_verified": report.checkpoints_verified,
-            "recovery_ms": round(report.wall_s * 1e3, 3),
-        })
-    return rows
+    from repro.bench import call
+
+    outcome = call("recovery_sweep", repeats_list=tuple(repeats_list),
+                   intervals=tuple(intervals))
+    return outcome["timing"]["rows"]
 
 
 @pytest.mark.parametrize("repeats", REPEATS)

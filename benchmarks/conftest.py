@@ -1,16 +1,28 @@
 """Shared helpers for the figure-regeneration benchmarks.
 
-Each benchmark runs the corresponding experiment driver once (they are
-full parameter sweeps, not microkernels) and prints the same rows/series
-the paper's figure reports.  Trial counts are reduced relative to the
-paper's 1M-trial datapoints; shapes are stable at these counts (see
-EXPERIMENTS.md for the recorded outputs and paper-vs-measured notes).
+Each ``bench_*.py`` file is a thin wrapper over one entry in the
+unified benchmark registry (:mod:`repro.bench`): it fetches the
+entry's rows through :func:`repro.bench.call` (so the script and
+``repro bench`` can never drift apart), asserts the paper's figure
+shapes, and prints the same tables the figure reports.  Trial counts
+are reduced relative to the paper's 1M-trial datapoints; shapes are
+stable at these counts.
 """
 
-import pytest
+from repro.bench import call
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run a sweep exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def bench_metrics(name, **params):
+    """Invoke a registered benchmark once; return its metrics dict."""
+    return call(name, **params)["metrics"]
+
+
+def bench_rows(name, **params):
+    """Invoke a registered benchmark once; return its ``rows`` table."""
+    return bench_metrics(name, **params)["rows"]

@@ -8,7 +8,13 @@ PY="${PYTHON:-python3}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests (pytest) =="
-"$PY" -m pytest -x -q
+# pytest-xdist (a dev extra) cuts the 3-version CI matrix wall time;
+# fall back to serial when it is absent (e.g. offline machines).
+if "$PY" -c "import xdist" >/dev/null 2>&1; then
+    "$PY" -m pytest -x -q -n auto
+else
+    "$PY" -m pytest -x -q
+fi
 
 echo
 echo "== doctests in docs code blocks =="

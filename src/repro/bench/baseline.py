@@ -1,0 +1,119 @@
+"""Baseline files and the perf-regression comparison.
+
+A baseline is a checked-in JSON file recording the throughput metrics a
+CI machine is expected to roughly reproduce::
+
+    {
+      "schema": "repro-bench-baseline/1",
+      "benchmarks": {
+        "fleet_scale": {"events_per_sec": 21000.0, "homes_per_sec": 190.0}
+      },
+      "hotpath_pass": {...}           # optional: before/after speedup table
+    }
+
+The gate is relative: a benchmark fails when a tracked metric drops
+below ``baseline * (1 - tolerance)``.  Improvements never fail (the
+baseline is a floor, not a pin); refresh it with
+``repro bench --update-baseline`` when a PR deliberately shifts
+throughput.
+"""
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.registry import BenchError
+from repro.bench.result import BenchResult
+
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+#: Metrics the gate tracks, in report order.
+TRACKED_METRICS = ("events_per_sec", "homes_per_sec")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise BenchError(f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+                         f"got {payload.get('schema')!r}")
+    return payload
+
+
+def make_baseline(results: List[BenchResult],
+                  extra: Optional[Dict[str, Any]] = None,
+                  merge_into: Optional[Dict[str, Any]] = None,
+                  min_events: int = 0) -> Dict[str, Any]:
+    """Build a baseline payload from measured results.
+
+    Args:
+        results: measurements to record floors for.
+        extra: additional top-level keys (e.g. a ``hotpath_pass`` table).
+        merge_into: an existing baseline payload; its entries for
+            benchmarks *not* in ``results`` are preserved, so a
+            filtered run never silently drops other floors.
+        min_events: skip benchmarks that processed fewer simulator
+            events than this per iteration — micro entries are
+            noise-dominated and make terrible absolute floors.
+    """
+    benchmarks: Dict[str, Dict[str, float]] = dict(
+        merge_into.get("benchmarks", {})) if merge_into else {}
+    for result in results:
+        if result.events is not None and result.events < min_events:
+            continue
+        entry = {metric: round(getattr(result, metric), 3)
+                 for metric in TRACKED_METRICS
+                 if getattr(result, metric)}
+        if entry:
+            benchmarks[result.name] = entry
+    payload: Dict[str, Any] = {"schema": BASELINE_SCHEMA,
+                               "benchmarks": benchmarks}
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def compare(results: List[BenchResult], baseline: Dict[str, Any],
+            tolerance: float = 0.25
+            ) -> Tuple[List[Dict[str, Any]], bool]:
+    """Check results against a baseline; returns (rows, ok).
+
+    One row per (benchmark, tracked metric) pair present in the
+    baseline.  ``ok`` is False when any measured metric lands below its
+    floor; benchmarks absent from the baseline (or metrics the result
+    cannot report) are listed as untracked and never fail.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise BenchError(f"tolerance must be in [0, 1), got {tolerance}")
+    recorded = baseline.get("benchmarks", {})
+    rows: List[Dict[str, Any]] = []
+    ok = True
+    for result in results:
+        entry = recorded.get(result.name)
+        if not entry:
+            rows.append({"name": result.name, "metric": None,
+                         "status": "untracked"})
+            continue
+        for metric in TRACKED_METRICS:
+            if metric not in entry:
+                continue
+            expected = entry[metric]
+            current = getattr(result, metric)
+            if current is None:
+                rows.append({"name": result.name, "metric": metric,
+                             "status": "unmeasured",
+                             "baseline": expected})
+                ok = False
+                continue
+            floor = expected * (1.0 - tolerance)
+            passed = current >= floor
+            ok = ok and passed
+            rows.append({
+                "name": result.name,
+                "metric": metric,
+                "status": "ok" if passed else "regression",
+                "current": round(current, 3),
+                "baseline": expected,
+                "floor": round(floor, 3),
+                "ratio": round(current / expected, 3) if expected else None,
+            })
+    return rows, ok

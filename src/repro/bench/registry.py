@@ -1,0 +1,134 @@
+"""The benchmark registry: one named entry per measurable workload.
+
+A benchmark is a plain function returning a deterministic ``metrics``
+dict (plus an optional ``timing`` dict for wall-clock-derived numbers
+that are *excluded* from determinism and baseline checks)::
+
+    @benchmark("fleet_scale", suite="smoke", homes=100, seed=42)
+    def fleet_scale(homes, seed):
+        ...
+        return {"metrics": {...}, "timing": {...}, "homes": homes}
+
+The decorator's keyword arguments are the entry's default parameters;
+``repro bench`` (and :func:`repro.bench.runner.run_suite`) times the
+call with warmup/repeat/min-of-N and wraps the outcome in a
+:class:`~repro.bench.result.BenchResult`.
+
+Suites
+------
+
+* ``smoke`` — the fast, CI-gated subset (seconds, not minutes); every
+  smoke benchmark is also part of ``full``.
+* ``full``  — everything, including the paper-figure sweeps.
+"""
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import SafeHomeError
+
+SUITES = ("smoke", "full")
+
+
+class BenchError(SafeHomeError):
+    """Registry or harness misuse (duplicate name, unknown suite...)."""
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark: its callable plus default parameters."""
+
+    name: str
+    fn: Callable[..., Dict[str, Any]]
+    suite: str = "full"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def call(self, **overrides: Any) -> Dict[str, Any]:
+        """Invoke once (untimed) with params merged over defaults."""
+        kwargs = dict(self.params)
+        kwargs.update(overrides)
+        outcome = self.fn(**kwargs)
+        if not isinstance(outcome, dict):
+            raise BenchError(
+                f"benchmark {self.name!r} returned "
+                f"{type(outcome).__name__}, expected a dict outcome")
+        return outcome
+
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def benchmark(name: str, suite: str = "full",
+              **params: Any) -> Callable[[Callable], Callable]:
+    """Register a benchmark function under ``name``.
+
+    ``suite`` must be one of :data:`SUITES`; smoke entries are included
+    in the full suite automatically.  Keyword arguments become the
+    entry's default parameters.  Duplicate names are an error — the
+    merged summary keys results by name.
+    """
+    def decorate(fn: Callable) -> Callable:
+        register(BenchSpec(name=name, fn=fn, suite=suite, params=params,
+                           description=(fn.__doc__ or "").strip()
+                           .split("\n")[0]))
+        return fn
+    return decorate
+
+
+def register(spec: BenchSpec) -> None:
+    if spec.suite not in SUITES:
+        raise BenchError(f"unknown suite {spec.suite!r}; "
+                         f"pick from {SUITES}")
+    if spec.name in _REGISTRY:
+        raise BenchError(f"duplicate benchmark name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+
+
+def get(name: str) -> BenchSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        # Lazily pull in the built-in suites so registry.call() works
+        # without an explicit load (the benchmarks/ wrappers rely on it).
+        from repro.bench.suites import load_builtin_suites
+
+        load_builtin_suites()
+        spec = _REGISTRY.get(name)
+    if spec is None:
+        raise BenchError(
+            f"unknown benchmark {name!r}; registered: {sorted(_REGISTRY)}")
+    return spec
+
+
+def call(name: str, **overrides: Any) -> Dict[str, Any]:
+    """Run one registered benchmark untimed; returns its outcome dict.
+
+    This is the hook the thin ``benchmarks/bench_*.py`` wrappers use to
+    fetch rows for their figure-shape assertions.
+    """
+    return get(name).call(**overrides)
+
+
+def select(suite: str = "full",
+           pattern: Optional[str] = None) -> List[BenchSpec]:
+    """Specs in a suite (name-sorted), optionally filtered.
+
+    ``pattern`` is one or more ``|``-separated alternatives, each a
+    glob (fnmatch) or plain substring.
+    """
+    if suite not in SUITES:
+        raise BenchError(f"unknown suite {suite!r}; pick from {SUITES}")
+    specs = [spec for spec in _REGISTRY.values()
+             if suite == "full" or spec.suite == suite]
+    if pattern:
+        alternatives = [alt for alt in pattern.split("|") if alt]
+        specs = [spec for spec in specs
+                 if any(fnmatch.fnmatch(spec.name, alt)
+                        or alt in spec.name
+                        for alt in alternatives)]
+    return sorted(specs, key=lambda spec: spec.name)
+
+
+def names(suite: str = "full") -> List[str]:
+    return [spec.name for spec in select(suite)]

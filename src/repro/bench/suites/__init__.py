@@ -1,0 +1,18 @@
+"""Built-in benchmark entries.
+
+Importing this package registers every built-in benchmark; the runner
+and CLI call :func:`load_builtin_suites` instead of importing at
+``repro.bench`` import time so the registry stays cheap to touch and
+tests can build isolated registries.
+"""
+
+_LOADED = False
+
+
+def load_builtin_suites() -> None:
+    """Idempotently import every suite module (registration side-effect)."""
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.bench.suites import figures, perf  # noqa: F401
+    _LOADED = True

@@ -1,0 +1,220 @@
+"""Full-suite benchmarks: the paper-figure sweeps and extensions.
+
+Each entry wraps one driver from :mod:`repro.experiments.figures` (or
+:mod:`repro.experiments.ablations`) with reduced trial counts — the
+shapes are stable at these sizes — and reports the figure's rows as
+deterministic metrics.  ``docs/benchmarks.md`` carries the paper-figure
+→ benchmark-name table.
+"""
+
+from typing import Any, Dict
+
+from repro.bench.registry import benchmark
+from repro.experiments import figures as fig_mod
+
+
+def _rows(rows) -> Dict[str, Any]:
+    return {"metrics": {"rows": rows}}
+
+
+@benchmark("weak_visibility", trials=20,
+           device_counts=(2, 4, 8, 15), offsets=(0.0, 0.5, 2.0))
+def weak_visibility(trials: int, device_counts, offsets) -> Dict[str, Any]:
+    """Fig 1: incongruent end states vs device count under WV."""
+    return _rows(fig_mod.fig01_weak_visibility(
+        device_counts=tuple(device_counts), offsets=tuple(offsets),
+        trials=trials))
+
+
+@benchmark("scenarios", trials=5)
+def scenarios(trials: int) -> Dict[str, Any]:
+    """Fig 12a: Morning/Party/Factory latency, incongruence, parallelism."""
+    return _rows(fig_mod.fig12a_scenarios(trials=trials))
+
+
+@benchmark("final_incongruence", runs=40, n_routines=9)
+def final_incongruence(runs: int, n_routines: int) -> Dict[str, Any]:
+    """Fig 12b: end-state serial equivalence over repeated runs."""
+    return _rows(fig_mod.fig12b_final_incongruence(
+        runs=runs, n_routines=n_routines))
+
+
+@benchmark("failures", trials=4)
+def failures(trials: int) -> Dict[str, Any]:
+    """Fig 13: abort rate and rollback overhead under device failures."""
+    data = fig_mod.fig13_failures(trials=trials)
+    return {"metrics": {"must_sweep": data["must_sweep"],
+                        "failure_sweep": data["failure_sweep"]}}
+
+
+@benchmark("schedulers", trials=4, concurrencies=(1, 2, 4, 8))
+def schedulers(trials: int, concurrencies) -> Dict[str, Any]:
+    """Fig 14: FCFS vs JiT vs Timeline under EV."""
+    return _rows(fig_mod.fig14_schedulers(
+        trials=trials, concurrencies=tuple(concurrencies)))
+
+
+@benchmark("leasing", trials=4, concurrencies=(2, 4, 8))
+def leasing(trials: int, concurrencies) -> Dict[str, Any]:
+    """Fig 15a/b: pre/post lock-leasing ablation."""
+    return _rows(fig_mod.fig15ab_leasing(
+        trials=trials, concurrencies=tuple(concurrencies)))
+
+
+@benchmark("stretch", trials=4, command_counts=(2, 4, 8))
+def stretch(trials: int, command_counts) -> Dict[str, Any]:
+    """Fig 15c: stretch-factor distribution vs routine size."""
+    rows = [{key: value for key, value in row.items() if key != "cdf"}
+            for row in fig_mod.fig15c_stretch(
+                trials=trials, command_counts=tuple(command_counts))]
+    return _rows(rows)
+
+
+@benchmark("routine_size", trials=4, command_counts=(1, 2, 3, 4, 6, 8))
+def routine_size(trials: int, command_counts) -> Dict[str, Any]:
+    """Fig 16a-c: impact of commands per routine."""
+    return _rows(fig_mod.fig16_routine_size(
+        trials=trials, command_counts=tuple(command_counts)))
+
+
+@benchmark("device_popularity", trials=4,
+           alphas=(0.0, 0.05, 0.5, 1.0))
+def device_popularity(trials: int, alphas) -> Dict[str, Any]:
+    """Fig 16d: device-popularity (Zipf) skew vs latency."""
+    return _rows(fig_mod.fig16d_popularity(
+        trials=trials, alphas=tuple(alphas)))
+
+
+@benchmark("long_routines", trials=4,
+           long_durations=(60.0, 300.0, 900.0),
+           long_pcts=(0, 10, 25, 50))
+def long_routines(trials: int, long_durations, long_pcts) -> Dict[str, Any]:
+    """Fig 17: long-running routines vs incongruence and order."""
+    data = fig_mod.fig17_long_routines(
+        trials=trials, long_durations=tuple(long_durations),
+        long_pcts=tuple(long_pcts))
+    return {"metrics": {"duration_sweep": data["duration_sweep"],
+                        "pct_sweep": data["pct_sweep"]}}
+
+
+ABLATION_SWEEPS = ("leniency", "estimate_error", "detector_period",
+                   "network_jitter")
+
+
+@benchmark("ablations", trials=3, sweeps=ABLATION_SWEEPS,
+           jitter_trials=None)
+def ablations(trials: int, sweeps, jitter_trials) -> Dict[str, Any]:
+    """Design-choice sweeps: leniency, estimate error, detector, jitter."""
+    from repro.experiments import ablations as abl_mod
+
+    drivers = {
+        "leniency": lambda: abl_mod.ablate_leniency(trials=trials),
+        "estimate_error": lambda: abl_mod.ablate_estimate_error(
+            trials=trials),
+        "detector_period": lambda: abl_mod.ablate_detector_period(
+            trials=trials),
+        "network_jitter": lambda: abl_mod.ablate_network_jitter(
+            trials=jitter_trials or max(10, trials)),
+    }
+    unknown = [sweep for sweep in sweeps if sweep not in drivers]
+    if unknown:
+        raise ValueError(f"unknown ablation sweeps {unknown}; "
+                         f"pick from {ABLATION_SWEEPS}")
+    return {"metrics": {sweep: drivers[sweep]() for sweep in sweeps}}
+
+
+def occ_vs_ev(trials: int = 6, seed: int = 31,
+              alphas=(0.0, 0.5, 1.5)):
+    """OCC vs EV across the contention spectrum (Zipf alpha rows)."""
+    from repro.experiments.runner import ExperimentSetup, run_workload
+    from repro.metrics.stats import mean
+    from repro.workloads.micro import MicroParams, generate_microbenchmark
+
+    rows = []
+    for model in ("occ", "ev"):
+        for alpha in alphas:
+            params = MicroParams(routines=30, concurrency=4, devices=12,
+                                 zipf_alpha=alpha, long_routine_pct=10,
+                                 long_duration_s=120.0,
+                                 short_duration_s=5.0)
+            latencies, aborts, undo = [], [], []
+            for trial in range(trials):
+                workload = generate_microbenchmark(
+                    params, seed=seed * 37 + trial)
+                setup = ExperimentSetup(model=model, seed=seed + trial,
+                                        check_final=False)
+                result, report, _c = run_workload(workload, setup,
+                                                  trial=trial)
+                latencies.append(report.latency["p50"])
+                aborts.append(report.abort_rate)
+                undo.append(sum(r.rolled_back_commands
+                                for r in result.runs))
+            rows.append({
+                "model": model, "alpha": alpha,
+                "lat_p50": mean(latencies),
+                "abort_rate": mean(aborts),
+                "undo_commands_per_run": mean(undo),
+            })
+    return rows
+
+
+@benchmark("occ_extension", trials=3, seed=31, alphas=(0.0, 0.5, 1.5))
+def occ_extension(trials: int, seed: int, alphas) -> Dict[str, Any]:
+    """Extension: optimistic vs pessimistic control across contention."""
+    return _rows(occ_vs_ev(trials=trials, seed=seed,
+                           alphas=tuple(alphas)))
+
+
+@benchmark("fleet_scale_sweep", scales=(1, 10, 100), seed=42)
+def fleet_scale_sweep(scales, seed: int) -> Dict[str, Any]:
+    """Fleet engine scale-out table (the standalone script's sweep)."""
+    from repro.fleet import FleetConfig, FleetEngine
+
+    rows = []
+    for homes in scales:
+        result = FleetEngine(FleetConfig(
+            homes=homes, seed=seed, check_final=False)).run()
+        rows.append({
+            "homes": homes,
+            "routines": result.aggregate["routines"],
+            "lat_p99": round(result.aggregate["latency"]["p99"], 6),
+            "abort_rate": round(result.aggregate["abort_rate"], 6),
+        })
+    return {"metrics": {"rows": rows}}
+
+
+@benchmark("recovery_sweep", repeats_list=(1, 2, 4),
+           intervals=(8, 32, 0))
+def recovery_sweep(repeats_list, intervals) -> Dict[str, Any]:
+    """Recovery cost vs WAL length and checkpoint interval."""
+    from repro.bench.suites.recovery_util import crash_and_recover
+
+    rows = []
+    for repeats in repeats_list:
+        _home, report = crash_and_recover(repeats)
+        rows.append({
+            "sweep": "wal-length", "repeats": repeats,
+            "checkpoint_every": 32,
+            "wal_records": report.wal_records,
+            "replayed_events": report.replayed_events,
+            "replayed_records": report.replayed_records,
+            "checkpoints_verified": report.checkpoints_verified,
+            "recovery_ms": round(report.wall_s * 1e3, 3),
+        })
+    for interval in intervals:
+        _home, report = crash_and_recover(
+            4, checkpoint_every=interval, compact=bool(interval))
+        rows.append({
+            "sweep": "checkpoint-interval", "repeats": 4,
+            "checkpoint_every": interval,
+            "wal_records": report.wal_records,
+            "replayed_events": report.replayed_events,
+            "replayed_records": report.replayed_records,
+            "checkpoints_verified": report.checkpoints_verified,
+            "recovery_ms": round(report.wall_s * 1e3, 3),
+        })
+    # recovery_ms is wall clock: split it out of the deterministic rows.
+    deterministic = [{k: v for k, v in row.items() if k != "recovery_ms"}
+                     for row in rows]
+    return {"metrics": {"rows": deterministic},
+            "timing": {"rows": rows}}

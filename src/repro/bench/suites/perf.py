@@ -1,0 +1,162 @@
+"""Smoke-suite benchmarks: the fast, CI-gated performance entries.
+
+These are the hot-path probes — the simulator dispatch loop, the fleet
+engine, parallel plan execution, scheduler insertion and durable-hub
+recovery.  Each runs in well under a second per iteration so the CI
+perf job stays cheap.
+"""
+
+from typing import Any, Dict
+
+from repro.bench.registry import benchmark
+from repro.core.controller import ControllerConfig
+from repro.experiments.figures import fig02_example, fig15d_insertion_time
+from repro.experiments.runner import ExperimentSetup, run_workload
+from repro.workloads.fanout import fanout_scenario
+
+PARALLEL_EXEC_MODELS = ("wv", "gsv", "psv", "ev", "occ")
+
+
+@benchmark("fleet_scale", suite="smoke", homes=100, seed=42)
+def fleet_scale(homes: int, seed: int) -> Dict[str, Any]:
+    """Fleet engine throughput: N heterogeneous homes, serial backend."""
+    from repro.fleet import FleetConfig, FleetEngine
+
+    result = FleetEngine(FleetConfig(
+        homes=homes, seed=seed, backend="serial",
+        # The scale benchmark measures engine throughput; the O(n!)-ish
+        # final-serializability search is benchmarked elsewhere.
+        check_final=False)).run()
+    aggregate = result.aggregate
+    return {
+        "homes": homes,
+        "virtual_s": aggregate["makespan_mean"],
+        "latency_p50": aggregate["latency"]["p50"],
+        "latency_p95": aggregate["latency"]["p95"],
+        "metrics": {
+            "routines": aggregate["routines"],
+            "committed": aggregate["committed"],
+            "abort_rate": round(aggregate["abort_rate"], 6),
+            "latency_p99": round(aggregate["latency"]["p99"], 6),
+            "makespan_max": round(aggregate["makespan_max"], 6),
+        },
+    }
+
+
+@benchmark("sim_dispatch", suite="smoke", events=20000, fanout=4)
+def sim_dispatch(events: int, fanout: int) -> Dict[str, Any]:
+    """Raw simulator dispatch: chained timer events, no controller.
+
+    The purest probe of the event-loop hot path (heap, Event
+    construction, clock advance, hook dispatch): each fired event
+    schedules ``fanout`` children until ``events`` have been requested,
+    plus one cancelled event per firing to keep the lazy-cancellation
+    bookkeeping honest.
+    """
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    state = {"scheduled": 0}
+
+    def tick() -> None:
+        doomed = sim.call_after(1000.0, tick)
+        sim.cancel(doomed)
+        for _ in range(fanout):
+            if state["scheduled"] >= events:
+                return
+            state["scheduled"] += 1
+            sim.call_after(0.001 * (state["scheduled"] % 7 + 1), tick)
+
+    state["scheduled"] += 1
+    sim.call_after(0.0, tick)
+    sim.run()
+    return {
+        "virtual_s": sim.now,
+        "metrics": {"events_processed": sim.events_processed,
+                    "requested": state["scheduled"]},
+    }
+
+
+def parallel_exec_compare(model: str, seed: int = 0, routines: int = 6,
+                          width: int = 8) -> Dict[str, Any]:
+    """Serial vs parallel plan strategy on the wide fan-out workload."""
+    row: Dict[str, Any] = {}
+    for execution in ("serial", "parallel"):
+        workload = fanout_scenario(seed=seed, routines=routines,
+                                   width=width)
+        setup = ExperimentSetup(
+            model=model, seed=seed, check_final=False,
+            config=ControllerConfig(execution=execution))
+        result, report, _controller = run_workload(workload, setup)
+        row[execution] = {
+            "makespan": round(result.makespan, 6),
+            "plan_makespan_p50": round(
+                report.plan_makespan.get("p50", 0.0), 6),
+            "lock_wait_total": round(
+                sum(run.lock_wait_s for run in result.runs), 6),
+            "committed": len(result.committed),
+            "aborted": len(result.aborted),
+        }
+    serial_p50 = row["serial"]["plan_makespan_p50"]
+    parallel_p50 = row["parallel"]["plan_makespan_p50"]
+    row["speedup"] = round(serial_p50 / parallel_p50, 3) \
+        if parallel_p50 > 0 else None
+    return row
+
+
+@benchmark("parallel_exec", suite="smoke", seed=0, routines=6, width=8)
+def parallel_exec(seed: int, routines: int, width: int) -> Dict[str, Any]:
+    """Virtual-time speedup of parallel command plans, per model."""
+    models = {model: parallel_exec_compare(model, seed=seed,
+                                           routines=routines, width=width)
+              for model in PARALLEL_EXEC_MODELS}
+    return {
+        "metrics": {
+            "workload": {"name": "fanout", "seed": seed,
+                         "routines": routines, "width": width},
+            "models": models,
+        },
+    }
+
+
+@benchmark("example_timeline", suite="smoke", seed=1)
+def example_timeline(seed: int) -> Dict[str, Any]:
+    """Fig 2 / Table 1: the five-routine example under GSV/PSV/EV."""
+    rows = fig02_example(seed=seed)
+    return {"metrics": {"rows": rows}}
+
+
+@benchmark("scheduler_insertion", suite="smoke",
+           routine_sizes=(1, 4, 10))
+def scheduler_insertion(routine_sizes) -> Dict[str, Any]:
+    """Fig 15d: Timeline (Algorithm 1) placement cost vs routine size.
+
+    Per-insertion milliseconds are wall-clock, so they live under
+    ``timing``; the deterministic part is the sweep shape itself.
+    """
+    rows = fig15d_insertion_time(routine_sizes=tuple(routine_sizes))
+    return {
+        "metrics": {"routine_sizes": list(routine_sizes),
+                    "insertions": len(rows)},
+        "timing": {"rows": rows},
+    }
+
+
+@benchmark("recovery_replay", suite="smoke", repeats_workload=2,
+           checkpoint_every=32)
+def recovery_replay(repeats_workload: int,
+                    checkpoint_every: int) -> Dict[str, Any]:
+    """Durable-hub crash at the end of history, verified replay."""
+    from repro.bench.suites.recovery_util import crash_and_recover
+
+    _home, report = crash_and_recover(
+        repeats_workload, checkpoint_every=checkpoint_every)
+    return {
+        "metrics": {
+            "wal_records": report.wal_records,
+            "replayed_events": report.replayed_events,
+            "replayed_records": report.replayed_records,
+            "checkpoints_verified": report.checkpoints_verified,
+        },
+        "timing": {"recovery_ms": round(report.wall_s * 1e3, 3)},
+    }

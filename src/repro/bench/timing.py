@@ -1,0 +1,87 @@
+"""Warmup / repeat / min-of-N timing around one benchmark call.
+
+``min`` of the timed iterations is the estimator (the least-noise
+sample on a busy machine); every iteration is recorded so summaries can
+show spread.  Simulator events are counted via the process-wide
+counter in :mod:`repro.sim.engine`, diffed around each iteration.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.bench.registry import BenchError, BenchSpec
+from repro.bench.result import BenchResult
+from repro.sim.engine import total_events_processed
+
+
+@dataclass
+class Measurement:
+    """Raw timing of one benchmark: walls, events and the last outcome."""
+
+    wall_s_all: List[float] = field(default_factory=list)
+    events: int = 0
+    outcome: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        return min(self.wall_s_all) if self.wall_s_all else 0.0
+
+
+def measure(spec: BenchSpec, warmup: int = 1, repeats: int = 3,
+            **overrides: Any) -> Measurement:
+    """Time ``spec`` with ``warmup`` untimed then ``repeats`` timed calls."""
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise BenchError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        spec.call(**overrides)
+    measurement = Measurement()
+    for _ in range(repeats):
+        events_before = total_events_processed()
+        started = time.perf_counter()
+        outcome = spec.call(**overrides)
+        measurement.wall_s_all.append(time.perf_counter() - started)
+        measurement.events = total_events_processed() - events_before
+        measurement.outcome = outcome
+    return measurement
+
+
+def to_result(spec: BenchSpec, measurement: Measurement,
+              warmup: int, repeats: int,
+              **overrides: Any) -> BenchResult:
+    """Fold a measurement into the shared :class:`BenchResult` schema."""
+    outcome = measurement.outcome
+    params = dict(spec.params)
+    params.update(overrides)
+    wall = measurement.wall_s
+    events = outcome.get("events", measurement.events or None)
+    homes = outcome.get("homes")
+    return BenchResult(
+        name=spec.name,
+        suite=spec.suite,
+        params=params,
+        warmup=warmup,
+        repeats=repeats,
+        wall_s=wall,
+        wall_s_all=list(measurement.wall_s_all),
+        events=events,
+        events_per_sec=(events / wall if events and wall > 0 else None),
+        homes=homes,
+        homes_per_sec=(homes / wall if homes and wall > 0 else None),
+        virtual_s=outcome.get("virtual_s"),
+        latency_p50=outcome.get("latency_p50"),
+        latency_p95=outcome.get("latency_p95"),
+        metrics=dict(outcome.get("metrics", {})),
+        timing=dict(outcome.get("timing", {})),
+    )
+
+
+def run_benchmark(spec: BenchSpec, warmup: int = 1, repeats: int = 3,
+                  **overrides: Any) -> BenchResult:
+    """Measure one spec and return its :class:`BenchResult`."""
+    measurement = measure(spec, warmup=warmup, repeats=repeats,
+                          **overrides)
+    return to_result(spec, measurement, warmup=warmup, repeats=repeats,
+                     **overrides)

@@ -16,6 +16,9 @@ Commands:
   hub: crash at seeded points (or ``--crash-at`` / ``--crash-event``),
   recover from checkpoint + WAL, and compare the final report against
   an uninterrupted run (see docs/durability.md).
+* ``bench`` — run registered benchmark suites through the unified
+  harness, write the merged ``BENCH_summary.json`` and optionally gate
+  events/sec against a checked-in baseline (see docs/benchmarks.md).
 """
 
 import argparse
@@ -215,6 +218,66 @@ def cmd_crash_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import registry, runner
+    from repro.bench.registry import BenchError
+    from repro.bench.suites import load_builtin_suites
+
+    if args.list:
+        load_builtin_suites()
+        for spec in registry.select(suite=args.suite,
+                                    pattern=args.filter or None):
+            print(f"{spec.name:24s} [{spec.suite}] {spec.description}")
+        return 0
+    try:
+        summary = runner.run_suite(
+            suite=args.suite, pattern=args.filter or None,
+            warmup=args.warmup, repeats=args.repeats,
+            baseline_path=args.baseline or None,
+            tolerance=args.tolerance,
+            progress=lambda line: print(line, file=sys.stderr))
+    except BenchError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    results = runner.summary_results(summary)
+    print_table(f"bench suite={args.suite}"
+                + (f" filter={args.filter}" if args.filter else ""),
+                [result.row() for result in results])
+    comparison = summary.get("baseline")
+    if comparison:
+        print_table(f"baseline: {comparison['path']} "
+                    f"(tolerance {comparison['tolerance']:.0%})",
+                    comparison["rows"])
+    if args.json:
+        runner.write_summary(summary, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.update_baseline:
+        from repro.bench import load_baseline, make_baseline
+
+        extra = {}
+        old = None
+        try:
+            # Preserve the recorded hot-path table and the floors of
+            # benchmarks outside this (possibly filtered) run.
+            old = load_baseline(args.update_baseline)
+            if "hotpath_pass" in old:
+                extra["hotpath_pass"] = old["hotpath_pass"]
+        except (OSError, BenchError):
+            pass
+        payload = make_baseline(results, extra=extra, merge_into=old)
+        with open(args.update_baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"updated baseline {args.update_baseline}", file=sys.stderr)
+    if not summary["ok"]:
+        print("FAIL: benchmark regression vs baseline "
+              f"{comparison['path']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
@@ -299,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the deterministic chaos summary "
                             "JSON to this path")
     crash.set_defaults(func=cmd_crash_recovery)
+
+    bench = sub.add_parser(
+        "bench", help="run benchmark suites through the unified harness")
+    bench.add_argument("--suite", default="smoke",
+                       choices=("smoke", "full"),
+                       help="benchmark suite (default: smoke)")
+    bench.add_argument("--filter", default="",
+                       help="glob/substring filter on benchmark names")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed warmup iterations (default: 1)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed iterations; wall time is their "
+                            "minimum (default: 3)")
+    bench.add_argument("--json", default="",
+                       help="write the merged summary JSON to this path")
+    bench.add_argument("--baseline", default="",
+                       help="compare events/sec + homes/sec against "
+                            "this baseline JSON (exit 1 on regression)")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed fractional drop below the baseline "
+                            "before failing (default: 0.25)")
+    bench.add_argument("--update-baseline", default="",
+                       help="rewrite this baseline file from the "
+                            "measured results")
+    bench.add_argument("--list", action="store_true",
+                       help="list the selected benchmarks and exit")
+    bench.set_defaults(func=cmd_bench)
 
     fleet = sub.add_parser(
         "fleet", help="simulate N independent homes concurrently")

@@ -12,7 +12,7 @@ paper distinguishes:
   post-leasing (§4.1).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 
@@ -71,15 +71,33 @@ class Command:
                 f"for {self.duration:g}s [{tag}]")
 
 
-@dataclass
 class CommandExecution:
-    """Runtime record: what actually happened to one command."""
+    """Runtime record: what actually happened to one command.
 
-    command: Command
-    started_at: Optional[float] = None
-    finished_at: Optional[float] = None
-    applied: bool = False          # state change landed on the device
-    skipped: bool = False          # best-effort command skipped
-    rolled_back: bool = False
-    observed: Any = None           # value seen, for reads
-    extra: dict = field(default_factory=dict)
+    A ``__slots__`` class, not a dataclass: one is allocated per issued
+    command, which makes it a measured hot-path allocation (see the
+    ``fleet_scale`` benchmark).
+    """
+
+    __slots__ = ("command", "started_at", "finished_at", "applied",
+                 "skipped", "rolled_back", "observed", "extra")
+
+    def __init__(self, command: Command,
+                 started_at: Optional[float] = None,
+                 finished_at: Optional[float] = None,
+                 applied: bool = False, skipped: bool = False,
+                 rolled_back: bool = False, observed: Any = None,
+                 extra: Optional[dict] = None) -> None:
+        self.command = command
+        self.started_at = started_at
+        self.finished_at = finished_at
+        self.applied = applied         # state change landed on the device
+        self.skipped = skipped         # best-effort command skipped
+        self.rolled_back = rolled_back
+        self.observed = observed       # value seen, for reads
+        self.extra = {} if extra is None else extra
+
+    def __repr__(self) -> str:
+        return (f"CommandExecution({self.command.describe()}, "
+                f"applied={self.applied}, skipped={self.skipped}, "
+                f"rolled_back={self.rolled_back})")

@@ -27,9 +27,14 @@ class RoutineStatus(enum.Enum):
     COMMITTED = "committed"
     ABORTED = "aborted"
 
-    @property
-    def finished(self) -> bool:
-        return self in (RoutineStatus.COMMITTED, RoutineStatus.ABORTED)
+
+# `status.finished` sits on the hottest lock-admission path (every
+# lineage scan asks it per entry), so it is precomputed as a plain
+# per-member attribute instead of a property building a tuple per call.
+for _status in RoutineStatus:
+    _status.finished = _status in (RoutineStatus.COMMITTED,
+                                   RoutineStatus.ABORTED)
+del _status
 
 
 @dataclass
@@ -538,7 +543,10 @@ class Controller:
         return run
 
     def is_finished(self, routine_id: int) -> bool:
-        return self.run_by_id(routine_id).done
+        run = self._runs_by_id.get(routine_id)
+        if run is None:
+            run = self.run_by_id(routine_id)   # raises SafeHomeError
+        return run.status.finished
 
 
 @dataclass

@@ -126,11 +126,23 @@ class EventualVisibilityController(PlanExecutionMixin):
         successors: Dict[int, set] = {}
         predecessors: Dict[int, set] = {}
         for lineage in self.table.lineages():
-            owners = lineage.owners()
-            for i, before in enumerate(owners):
-                for after in owners[i + 1:]:
-                    successors.setdefault(before, set()).add(after)
-                    predecessors.setdefault(after, set()).add(before)
+            entries = lineage.entries
+            n = len(entries)
+            if n < 2:       # no pairs — skip the owners() allocation
+                continue
+            owners = [entry.routine_id for entry in entries]
+            for i in range(n - 1):
+                before = owners[i]
+                succ = successors.get(before)
+                if succ is None:
+                    succ = successors[before] = set()
+                for j in range(i + 1, n):
+                    after = owners[j]
+                    succ.add(after)
+                    pred = predecessors.get(after)
+                    if pred is None:
+                        pred = predecessors[after] = set()
+                    pred.add(before)
         # Compacted-away predecessors precede every live access on that
         # device (those all sit right of the committed write).
         for device_id, hidden in self.compacted_before.items():
@@ -228,18 +240,24 @@ class EventualVisibilityController(PlanExecutionMixin):
         self.scheduler.on_arrive(run)
 
     def _pump(self, run: RoutineRun) -> None:
-        """Advance a routine if its next command's lock is available."""
-        if self._parallel_enabled():
+        """Advance a routine if its next command's lock is available.
+
+        Called for every active routine on every lock release, so the
+        guards use direct attribute loads (status/inflight_count)
+        rather than the equivalent convenience properties.
+        """
+        if self._parallel_flag:
             # The plan dispatcher issues every ready command whose
             # lineage entry is acquirable (see _claim_device).
             self._dispatch(run)
             return
-        if run.done or run.inflight:
+        if run.status.finished or run.inflight_count > 0:
             return
-        if run.next_index >= len(run.commands):
+        commands = run.routine.commands
+        if run.next_index >= len(commands):
             self._finish_point(run)
             return
-        command = run.commands[run.next_index]
+        command = commands[run.next_index]
         lineage = self.table.lineage(command.device_id)
         entry = lineage.entry_for(run.routine_id)
         if entry is None:
@@ -259,8 +277,12 @@ class EventualVisibilityController(PlanExecutionMixin):
         self._issue_command(run, command, self._after_command)
 
     def _pump_all(self) -> None:
-        for run in self.active_runs():
-            self._pump(run)
+        # Snapshot of the full run list, filtered inline: _pump's first
+        # guard skips finished runs, so this is trace-equivalent to
+        # iterating active_runs() without building the filtered list.
+        for run in list(self.runs):
+            if not run.status.finished:
+                self._pump(run)
 
     def _run_next(self, run: RoutineRun) -> None:
         # The execution engine calls this after each command; in EV

@@ -57,11 +57,15 @@ class PlanExecutionMixin(Controller):
         self._arrival_counter = 0
         # routine id -> resources still awaited for lock-table admission.
         self._admission_pending = {}
+        # The strategy is fixed for the controller's lifetime (SafeHome
+        # rebuilds the whole stack on recovery), so the per-pump flag is
+        # computed once instead of a getattr + compare per command.
+        self._parallel_flag = strategy == "parallel"
 
     # -- strategy ----------------------------------------------------------------
 
     def _parallel_enabled(self) -> bool:
-        return getattr(self.config, "execution", "serial") == "parallel"
+        return self._parallel_flag
 
     def _plan_for(self, run: RoutineRun) -> CommandPlan:
         if run.plan is None:

@@ -21,7 +21,6 @@ metrics layer its lock-wait breakdown (ready-but-blocked time).
 """
 
 import enum
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.command import Command
@@ -36,17 +35,24 @@ class NodeState(enum.Enum):
     DONE = "done"           # resolved (applied, skipped or timed out)
 
 
-@dataclass
 class PlanNode:
-    """One command plus its dependency edges."""
+    """One command plus its dependency edges.
 
-    index: int
-    command: Command
-    deps: Set[int] = field(default_factory=set)
-    dependents: List[int] = field(default_factory=list)
-    state: NodeState = NodeState.PENDING
-    ready_at: float = 0.0
-    issued_at: Optional[float] = None
+    ``__slots__``: plans allocate one node per command per routine run,
+    a measured per-command hot-path allocation.
+    """
+
+    __slots__ = ("index", "command", "deps", "dependents", "state",
+                 "ready_at", "issued_at")
+
+    def __init__(self, index: int, command: Command) -> None:
+        self.index = index
+        self.command = command
+        self.deps: Set[int] = set()
+        self.dependents: List[int] = []
+        self.state = NodeState.PENDING
+        self.ready_at = 0.0
+        self.issued_at: Optional[float] = None
 
     def __repr__(self) -> str:
         return (f"PlanNode({self.index}, dev={self.command.device_id}, "

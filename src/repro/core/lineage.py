@@ -107,8 +107,12 @@ class Lineage:
         return None
 
     def entry_for(self, routine_id: int) -> Optional[LockAccess]:
-        index = self.index_of(routine_id)
-        return None if index is None else self.entries[index]
+        # Direct scan (not via index_of): this is the hottest lineage
+        # lookup — every pump asks it once per routine-device pair.
+        for entry in self.entries:
+            if entry.routine_id == routine_id:
+                return entry
+        return None
 
     def owners(self) -> List[int]:
         return [entry.routine_id for entry in self.entries]
@@ -153,17 +157,17 @@ class Lineage:
         dirty-read guard (§4.1) blocks a reader behind a released access
         whose *unfinished* owner wrote the device.
         """
-        index = self.index_of(routine_id)
-        if index is None:
-            return False
-        for earlier in self.entries[:index]:
-            if earlier.status is not LockStatus.RELEASED:
+        released = LockStatus.RELEASED
+        for earlier in self.entries:      # single pass, no index slice
+            if earlier.routine_id == routine_id:
+                return True
+            if earlier.status is not released:
                 return False
             dirty = (earlier.writes and wants_read
                      and not finished(earlier.routine_id))
             if dirty:
                 return False
-        return True
+        return False                      # routine has no entry here
 
     def acquire(self, routine_id: int, now: float) -> LockAccess:
         index = self.index_of(routine_id)
@@ -375,12 +379,14 @@ class LineageTable:
         self._committed_lookup = committed_lookup
 
     def lineage(self, device_id: int) -> Lineage:
-        if device_id not in self._lineages:
+        lineage = self._lineages.get(device_id)
+        if lineage is None:
             committed = UNSET
             if self._committed_lookup is not None:
                 committed = self._committed_lookup(device_id)
-            self._lineages[device_id] = Lineage(device_id, committed)
-        return self._lineages[device_id]
+            lineage = Lineage(device_id, committed)
+            self._lineages[device_id] = lineage
+        return lineage
 
     def __contains__(self, device_id: int) -> bool:
         return device_id in self._lineages

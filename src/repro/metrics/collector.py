@@ -36,9 +36,18 @@ class MetricsReport:
     # byte-identical.
     plan_makespan: Dict[str, float] = field(default_factory=dict)
     lock_wait: Dict[str, float] = field(default_factory=dict)
+    # row() is recomputed by every table/JSON emitter that touches the
+    # report (fleet workers, CLI, experiment drivers) — memoize it.
+    _row_cache: Optional[Dict[str, Any]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def row(self) -> Dict[str, Any]:
-        """Flat dict for table printing."""
+        """Flat dict for table printing (cached; copy per call)."""
+        if self._row_cache is None:
+            self._row_cache = self._build_row()
+        return dict(self._row_cache)
+
+    def _build_row(self) -> Dict[str, Any]:
         return {
             "model": self.model_name,
             "routines": self.routines,
@@ -93,10 +102,14 @@ def analyze(result: RunResult, initial: Dict[int, Any],
             check_final: bool = True,
             exhaustive_limit: int = 8) -> MetricsReport:
     """Compute every §7.1 metric for a completed run."""
-    latencies = result.latencies()
+    # result.committed/.aborted rebuild their lists per access — hoist
+    # them once; this function dominates post-run cost in fleet sweeps.
+    committed = result.committed
+    aborted = result.aborted
+    latencies = [run.latency for run in committed]
     norm_latencies = [
         run.latency / run.routine.total_duration
-        for run in result.committed
+        for run in committed
         if run.routine.total_duration > 0]
     waits = [run.wait_time for run in result.runs
              if run.wait_time is not None]
@@ -128,8 +141,8 @@ def analyze(result: RunResult, initial: Dict[int, Any],
     return MetricsReport(
         model_name=result.model_name,
         routines=len(result.runs),
-        committed=len(result.committed),
-        aborted=len(result.aborted),
+        committed=len(committed),
+        aborted=len(aborted),
         latency=summarize(latencies),
         norm_latency=summarize(norm_latencies),
         wait_time=summarize(waits),
@@ -143,7 +156,7 @@ def analyze(result: RunResult, initial: Dict[int, Any],
         order_mismatch=mismatch,
         serial_order=serial_order,
         plan_makespan=summarize([
-            run.finish_time - run.start_time for run in result.committed
+            run.finish_time - run.start_time for run in committed
             if run.start_time is not None and run.finish_time is not None]),
         lock_wait=summarize([run.lock_wait_s for run in result.runs]),
     )

@@ -10,15 +10,16 @@ from repro.errors import SimulationError
 
 
 class VirtualClock:
-    """Monotonically advancing simulated time, in seconds."""
+    """Monotonically advancing simulated time, in seconds.
+
+    ``now`` is a plain attribute (read on every scheduling decision);
+    advance through :meth:`advance_to` so monotonicity stays enforced.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
+        self.now = float(start)
 
     def advance_to(self, when: float) -> None:
         """Move the clock forward to ``when``.
@@ -27,11 +28,11 @@ class VirtualClock:
             SimulationError: if ``when`` is in the past.  Equal times are
                 allowed because many events can share a timestamp.
         """
-        if when < self._now:
+        if when < self.now:
             raise SimulationError(
-                f"clock cannot move backwards: {when} < {self._now}"
+                f"clock cannot move backwards: {when} < {self.now}"
             )
-        self._now = when
+        self.now = when
 
     def __repr__(self) -> str:
-        return f"VirtualClock(now={self._now:.6f})"
+        return f"VirtualClock(now={self.now:.6f})"
