@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Profile the fleet engine's hot path with cProfile.
+
+The entry point used to find the next fleet bottleneck (this is how the
+PR-5 throughput pass located the pump scans, closure rebuilds and
+journal payload churn).  Runs one fleet configuration under cProfile
+and prints the top functions by cumulative and internal time::
+
+    PYTHONPATH=src python scripts/profile_fleet.py --homes 100
+    PYTHONPATH=src python scripts/profile_fleet.py --homes 50 \
+        --scenario morning --sort tottime --limit 40
+    PYTHONPATH=src python scripts/profile_fleet.py --out fleet.pstats
+
+Only the serial backend is profiled — process workers run in children
+where the parent's profiler cannot see, and the serial path is the
+per-home cost every backend pays.  Write ``--out`` and open the file
+with ``snakeviz``/``pstats`` for an interactive view.
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.fleet import FleetConfig, FleetEngine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--homes", type=int, default=100,
+                        help="fleet size to profile (default: 100)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--scenario", default="mix",
+                        help="'mix' or one fleet scenario name")
+    parser.add_argument("--model", default="ev")
+    parser.add_argument("--crashes", type=int, default=0,
+                        help="profile the durable path (hub crashes "
+                             "per home)")
+    parser.add_argument("--check-final", action="store_true",
+                        help="include the final-serializability search "
+                             "(excluded by default, as in fleet_scale)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default: cumulative)")
+    parser.add_argument("--limit", type=int, default=30,
+                        help="rows to print (default: 30)")
+    parser.add_argument("--out", default="",
+                        help="also dump raw pstats to this path")
+    args = parser.parse_args(argv)
+
+    engine = FleetEngine(FleetConfig(
+        homes=args.homes, seed=args.seed, scenario=args.scenario,
+        model=args.model, backend="serial", crashes=args.crashes,
+        check_final=args.check_final))
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    result = engine.run()
+    profiler.disable()
+    elapsed = time.perf_counter() - started
+
+    print(f"{args.homes} homes in {elapsed:.2f}s under the profiler "
+          f"({args.homes / elapsed:.1f} homes/s; profiling overhead "
+          f"inflates everything — compare shapes, not absolutes)",
+          file=sys.stderr)
+    print(f"aggregate: {result.aggregate['routines']} routines, "
+          f"abort rate {result.aggregate['abort_rate']:.4f}",
+          file=sys.stderr)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

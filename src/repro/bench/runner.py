@@ -110,10 +110,12 @@ def run_suite(suite: str = "smoke", pattern: Optional[str] = None,
                                "tolerance": tolerance,
                                "rows": rows, "ok": ok}
         summary["ok"] = ok
-        # Surface the recorded hot-path before/after speedup table so
-        # BENCH_summary.json carries it alongside the fresh numbers.
-        if "hotpath_pass" in payload:
-            summary["hotpath_pass"] = payload["hotpath_pass"]
+        # Surface the recorded optimization-pass before/after speedup
+        # tables so BENCH_summary.json carries them alongside the fresh
+        # numbers.
+        for table in ("hotpath_pass", "fleet_pass"):
+            if table in payload:
+                summary[table] = payload[table]
     return summary
 
 

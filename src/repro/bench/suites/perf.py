@@ -43,6 +43,37 @@ def fleet_scale(homes: int, seed: int) -> Dict[str, Any]:
     }
 
 
+@benchmark("fleet_scale_process", suite="smoke", homes=100, seed=42,
+           chunk=0)
+def fleet_scale_process(homes: int, seed: int, chunk: int
+                        ) -> Dict[str, Any]:
+    """Fleet engine throughput on the process pool (persistent workers,
+    one-time context broadcast, compact tuple chunks).
+
+    Simulator events fire in the worker processes, so only ``homes``
+    (and therefore homes/sec) is measurable from the parent.  Worker
+    count follows the machine (one per CPU) — the recorded floor is
+    machine-dependent; see docs/fleet-performance.md.
+    """
+    from repro.fleet import FleetConfig, FleetEngine
+
+    result = FleetEngine(FleetConfig(
+        homes=homes, seed=seed, backend="process", chunk=chunk,
+        check_final=False)).run()
+    aggregate = result.aggregate
+    return {
+        "homes": homes,
+        "virtual_s": aggregate["makespan_mean"],
+        "latency_p50": aggregate["latency"]["p50"],
+        "latency_p95": aggregate["latency"]["p95"],
+        "metrics": {
+            "routines": aggregate["routines"],
+            "committed": aggregate["committed"],
+            "abort_rate": round(aggregate["abort_rate"], 6),
+        },
+    }
+
+
 @benchmark("sim_dispatch", suite="smoke", events=20000, fanout=4)
 def sim_dispatch(events: int, fanout: int) -> Dict[str, Any]:
     """Raw simulator dispatch: chained timer events, no controller.

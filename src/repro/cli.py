@@ -153,6 +153,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         model=args.model, scheduler=args.scheduler,
         execution=args.execution,
         backend=args.backend, workers=args.workers,
+        chunk=args.chunk,
+        aggregate="exact" if args.exact else args.aggregate,
         check_final=not args.no_check_final,
         crashes=args.crashes, recovery=args.recovery)
     try:
@@ -259,11 +261,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         extra = {}
         old = None
         try:
-            # Preserve the recorded hot-path table and the floors of
-            # benchmarks outside this (possibly filtered) run.
+            # Preserve the recorded optimization-pass tables and the
+            # floors of benchmarks outside this (possibly filtered) run.
             old = load_baseline(args.update_baseline)
-            if "hotpath_pass" in old:
-                extra["hotpath_pass"] = old["hotpath_pass"]
+            for table in ("hotpath_pass", "fleet_pass"):
+                if table in old:
+                    extra[table] = old[table]
         except (OSError, BenchError):
             pass
         payload = make_baseline(results, extra=extra, merge_into=old)
@@ -413,6 +416,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker pool type (default: serial)")
     fleet.add_argument("--workers", type=int, default=0,
                        help="pool size; 0 = one per CPU (default: 0)")
+    fleet.add_argument("--chunk", type=int, default=0,
+                       help="homes per dispatch chunk; 0 = homes/workers "
+                            "rounded up (amortizes IPC; smaller chunks "
+                            "stream better)")
+    fleet.add_argument("--aggregate", default="exact",
+                       choices=("exact", "stream"),
+                       help="'exact' pools raw latency samples in the "
+                            "parent (byte-stable default); 'stream' "
+                            "merges per-chunk histogram accumulators "
+                            "(percentiles within 1 ms)")
+    fleet.add_argument("--exact", action="store_true",
+                       help="force exact pooled-percentile aggregation "
+                            "(the default; overrides --aggregate)")
     fleet.add_argument("--crashes", type=int, default=0,
                        help="hub crashes per home at seeded times "
                             "(default: 0 = no chaos)")

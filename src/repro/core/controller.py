@@ -213,10 +213,10 @@ class Controller:
         self._next_routine_id += 1
         self.runs.append(run)
         self._runs_by_id[run.routine_id] = run
-        self._journal("routine-submitted", routine_id=run.routine_id,
-                      name=routine.name, when=when)
-        self.sim.call_at(when, self._arrive, run,
-                         label=f"arrive:{routine.name}")
+        if self.journal is not None:
+            self._journal("routine-submitted", routine_id=run.routine_id,
+                          name=routine.name, when=when)
+        self.sim.call_at(when, self._arrive, run, label="arrive")
         return run
 
     def _arrive(self, run: RoutineRun) -> None:
@@ -229,7 +229,9 @@ class Controller:
         if run.status in (RoutineStatus.PENDING, RoutineStatus.WAITING):
             run.status = RoutineStatus.RUNNING
             run.start_time = self.sim.now
-            self._journal("routine-admitted", routine_id=run.routine_id)
+            if self.journal is not None:
+                self._journal("routine-admitted",
+                              routine_id=run.routine_id)
 
     def _issue_command(self, run: RoutineRun, command: Command,
                        on_done: Callable[[RoutineRun, CommandExecution], None]
@@ -240,10 +242,11 @@ class Controller:
                                      started_at=self.sim.now)
         run.executions.append(execution)
         run.inflight_count += 1
-        self._journal("command-dispatched", routine_id=run.routine_id,
-                      device_id=command.device_id,
-                      index=len(run.executions) - 1,
-                      read=command.is_read)
+        if self.journal is not None:
+            self._journal("command-dispatched", routine_id=run.routine_id,
+                          device_id=command.device_id,
+                          index=len(run.executions) - 1,
+                          read=command.is_read)
 
         if command.device_id in self.believed_failed:
             # The hub already believes the device is down: no point
@@ -255,22 +258,31 @@ class Controller:
             self._issue_read(run, execution, on_done)
             return execution
 
-        def landed(outcome: CommandOutcome, prior: Any) -> None:
-            if outcome is CommandOutcome.APPLIED:
-                # Prior state is captured at land time (the write is
-                # ordered with every other write), making it the correct
-                # rollback target for the lineage-less models.
-                run.prior_states.setdefault(command.device_id, prior)
-                execution.applied = True
-                self._on_write_applied(run, execution)
-                self.sim.call_after(command.duration, self._command_elapsed,
-                                    run, execution, on_done,
-                                    label=f"cmd-done:{run.name}")
-            else:
-                self._command_unreachable(run, execution, on_done)
-
         self.driver.issue(command.device_id, command.value,
-                          source=run.routine_id, callback=landed)
+                          source=run.routine_id,
+                          callback=self._write_landed,
+                          cb_args=(run, execution, on_done))
+        return execution
+
+    def _write_landed(self, outcome: CommandOutcome, prior: Any,
+                      run: RoutineRun, execution: CommandExecution,
+                      on_done: Callable) -> None:
+        """Driver callback for a write command (bound method + explicit
+        args instead of a per-command closure — the hottest callback in
+        fleet runs)."""
+        if outcome is CommandOutcome.APPLIED:
+            command = execution.command
+            # Prior state is captured at land time (the write is
+            # ordered with every other write), making it the correct
+            # rollback target for the lineage-less models.
+            run.prior_states.setdefault(command.device_id, prior)
+            execution.applied = True
+            self._on_write_applied(run, execution)
+            self.sim.call_after(command.duration, self._command_elapsed,
+                                run, execution, on_done,
+                                label="cmd-done")
+        else:
+            self._command_unreachable(run, execution, on_done)
 
     def _issue_read(self, run: RoutineRun, execution: CommandExecution,
                     on_done: Callable) -> None:
@@ -281,9 +293,10 @@ class Controller:
                 execution.applied = True
                 execution.observed = self.registry.get(
                     command.device_id).state
-                self.sim.call_after(command.duration, self._command_elapsed,
+                self.sim.call_after(command.duration,
+                                    self._command_elapsed,
                                     run, execution, on_done,
-                                    label=f"read-done:{run.name}")
+                                    label="read-done")
             else:
                 self._command_unreachable(run, execution, on_done)
 
@@ -333,10 +346,11 @@ class Controller:
         """Hook: an execution finished, was skipped or timed out (runs
         on every resolution path; the execution engine frees the
         per-device FIFO slot here, after calling super())."""
-        self._journal("command-acked", routine_id=run.routine_id,
-                      device_id=execution.command.device_id,
-                      applied=execution.applied,
-                      skipped=execution.skipped)
+        if self.journal is not None:
+            self._journal("command-acked", routine_id=run.routine_id,
+                          device_id=execution.command.device_id,
+                          applied=execution.applied,
+                          skipped=execution.skipped)
 
     def _on_write_applied(self, run: RoutineRun,
                           execution: CommandExecution) -> None:
@@ -360,8 +374,9 @@ class Controller:
         run.status = RoutineStatus.ABORTED
         run.abort_reason = reason
         run.finish_time = self.sim.now
-        self._journal("routine-aborted", routine_id=run.routine_id,
-                      reason=reason)
+        if self.journal is not None:
+            self._journal("routine-aborted", routine_id=run.routine_id,
+                          reason=reason)
         self._rollback(run)
         self._after_finish(run)
 
@@ -370,7 +385,9 @@ class Controller:
             return
         run.status = RoutineStatus.COMMITTED
         run.finish_time = self.sim.now
-        self._journal("routine-committed", routine_id=run.routine_id)
+        if self.journal is not None:
+            self._journal("routine-committed",
+                          routine_id=run.routine_id)
         self._on_commit(run)
         self._after_finish(run)
 
@@ -527,8 +544,10 @@ class Controller:
     def record_last_access(self, run: RoutineRun, device_id: int) -> None:
         """Called when a routine completes its last command on a device."""
         run.devices_done.add(device_id)
-        self.device_access_order.setdefault(device_id, []).append(
-            run.routine_id)
+        order = self.device_access_order.get(device_id)
+        if order is None:
+            order = self.device_access_order[device_id] = []
+        order.append(run.routine_id)
 
     def active_runs(self) -> List[RoutineRun]:
         return [run for run in self.runs if not run.done]

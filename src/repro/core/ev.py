@@ -46,6 +46,60 @@ class Placement:
                 f"t={self.planned_start:g}+{self.duration:g})")
 
 
+class ClosureIndex:
+    """Lazily memoized transitive preSet/postSet queries.
+
+    Built from one pass over the live lineages (plus the compacted-
+    before edges); individual reach sets are computed on first request
+    and cached.  Placement touches only the owners of the gaps it
+    actually examines and a commit needs a single routine's preSet, so
+    most nodes' closures are never materialized — the results are
+    value-identical to the old eager ``closure_sets()`` dict.
+    """
+
+    __slots__ = ("_successors", "_predecessors", "_pre", "_post")
+
+    def __init__(self, successors: Dict[int, set],
+                 predecessors: Dict[int, set]) -> None:
+        self._successors = successors
+        self._predecessors = predecessors
+        self._pre: Dict[int, set] = {}
+        self._post: Dict[int, set] = {}
+
+    @staticmethod
+    def _reach(start: int, graph: Dict[int, set],
+               memo: Dict[int, set]) -> set:
+        cached = memo.get(start)
+        if cached is not None:
+            return cached
+        seen: set = set()
+        frontier = list(graph.get(start, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            done = memo.get(node)
+            if done is not None:
+                seen.add(node)
+                seen |= done
+                continue
+            seen.add(node)
+            frontier.extend(graph.get(node, ()))
+        memo[start] = seen
+        return seen
+
+    def pre(self, node: int) -> set:
+        """Transitive predecessors (the paper's preSet)."""
+        return self._reach(node, self._predecessors, self._pre)
+
+    def post(self, node: int) -> set:
+        """Transitive successors (the paper's postSet)."""
+        return self._reach(node, self._successors, self._post)
+
+    def nodes(self) -> set:
+        return set(self._successors) | set(self._predecessors)
+
+
 class EventualVisibilityController(PlanExecutionMixin):
     """Lineage-table based controller implementing EV."""
 
@@ -61,6 +115,11 @@ class EventualVisibilityController(PlanExecutionMixin):
         self.table = LineageTable(
             committed_lookup=lambda d: self.registry.get(d).state)
         self._revocations: Dict[Tuple[int, int], Event] = {}
+        # Serial-pump waiting index: device id -> {routine_id: run} of
+        # runs whose next command is lock-blocked on that device.  A
+        # release pumps exactly these candidates (in submission order)
+        # instead of scanning every run in the home; see _pump_released.
+        self._waiters: Dict[int, Dict[int, RoutineRun]] = {}
         # Commit compaction (Fig 7) can remove a *still-active* routine's
         # lock-access (a later routine overwrote it and committed).  The
         # ordering "that routine precedes everything placed on this
@@ -116,8 +175,8 @@ class EventualVisibilityController(PlanExecutionMixin):
 
     # -- precedence closure (Invariant 4 / preSet-postSet) ------------------------
 
-    def closure_sets(self) -> Dict[int, Tuple[set, set]]:
-        """Transitive (before, after) routine sets from live lineages.
+    def closure_index(self) -> ClosureIndex:
+        """Lazy transitive preSet/postSet queries over live lineages.
 
         The paper's preSet/postSet are "the routines positioned before
         and after R in the serialization order" — transitively, which is
@@ -151,40 +210,62 @@ class EventualVisibilityController(PlanExecutionMixin):
                 for after in owners:
                     successors.setdefault(before, set()).add(after)
                     predecessors.setdefault(after, set()).add(before)
+        return ClosureIndex(successors, predecessors)
 
-        def reach(start: int, graph: Dict[int, set]) -> set:
-            seen: set = set()
-            frontier = list(graph.get(start, ()))
-            while frontier:
-                node = frontier.pop()
-                if node in seen:
-                    continue
-                seen.add(node)
-                frontier.extend(graph.get(node, ()))
-            return seen
+    def closure_sets(self) -> Dict[int, Tuple[set, set]]:
+        """Eager dict view of :meth:`closure_index` (tests, tooling)."""
+        index = self.closure_index()
+        return {node: (index.pre(node), index.post(node))
+                for node in index.nodes()}
 
-        nodes = set(successors) | set(predecessors)
-        return {node: (reach(node, predecessors), reach(node, successors))
-                for node in nodes}
+    def _predecessor_index(self) -> ClosureIndex:
+        """Predecessor-only closure: half the adjacency build of
+        :meth:`closure_index` for callers (the commit path) that only
+        query preSets.  ``post()`` on the result is meaningless."""
+        predecessors: Dict[int, set] = {}
+        for lineage in self.table.lineages():
+            entries = lineage.entries
+            n = len(entries)
+            if n < 2:
+                continue
+            owners = [entry.routine_id for entry in entries]
+            for j in range(1, n):
+                after = owners[j]
+                pred = predecessors.get(after)
+                if pred is None:
+                    pred = predecessors[after] = set()
+                pred.update(owners[:j])
+        for device_id, hidden in self.compacted_before.items():
+            if hidden:
+                for after in self.table.lineage(device_id).owners():
+                    predecessors.setdefault(after, set()).update(hidden)
+        return ClosureIndex({}, predecessors)
 
     def before_after_for_gap(self, device_id: int, index: int,
-                             closures: Dict[int, Tuple[set, set]]
+                             closures: ClosureIndex,
+                             owners: Optional[List[int]] = None
                              ) -> Tuple[set, set]:
-        """preSet/postSet contribution of placing an access at ``index``."""
-        owners = self.table.lineage(device_id).owners()
+        """preSet/postSet contribution of placing an access at ``index``.
+
+        ``owners`` may carry the device's owner list when the caller
+        already snapshotted it (the Timeline search asks about many gaps
+        of the same, unchanging lineage).
+        """
+        if owners is None:
+            owners = self.table.lineage(device_id).owners()
         pre: set = set()
         post: set = set()
         # Every placement position is after the device's committed
         # state, hence after any active routine compacted behind it.
         for owner in self.compacted_before.get(device_id, ()):
             pre.add(owner)
-            pre |= closures.get(owner, (set(), set()))[0]
+            pre |= closures.pre(owner)
         for owner in owners[:index]:
             pre.add(owner)
-            pre |= closures.get(owner, (set(), set()))[0]
+            pre |= closures.pre(owner)
         for owner in owners[index:]:
             post.add(owner)
-            post |= closures.get(owner, (set(), set()))[1]
+            post |= closures.post(owner)
         return pre, post
 
     # -- placement ---------------------------------------------------------------
@@ -210,22 +291,30 @@ class EventualVisibilityController(PlanExecutionMixin):
             if access.pre_leased:
                 self.scheduler_stats["pre_leases"] += 1
             lineage.insert(placement.index, access)
-            self._journal("lineage-placed", routine_id=run.routine_id,
-                          device_id=request.device_id,
-                          index=placement.index,
-                          pre_leased=access.pre_leased)
-            self._replan_successors(lineage, access)
+            if self.journal is not None:
+                self._journal("lineage-placed",
+                              routine_id=run.routine_id,
+                              device_id=request.device_id,
+                              index=placement.index,
+                              pre_leased=access.pre_leased)
+            if placement.index + 1 < len(lineage.entries):
+                # Only pre-leased insertions have successors to replan;
+                # the common tail append skips the scan.
+                self._replan_successors(lineage, access,
+                                        index=placement.index)
         self.scheduler_stats["placements"] += 1
         if self.config.paranoid:
             self.table.verify_all()
         self._pump(run)
 
     @staticmethod
-    def _replan_successors(lineage, access: LockAccess) -> None:
+    def _replan_successors(lineage, access: LockAccess,
+                           index: Optional[int] = None) -> None:
         """Keep Invariant 1 truthful after an insertion: successors that
         would now overlap in planned time are pushed right (this is the
         "stretch" an insertion imposes, Fig 9c)."""
-        index = lineage.index_of(access.routine_id)
+        if index is None:
+            index = lineage.index_of(access.routine_id)
         cursor = access.planned_end
         for later in lineage.entries[index + 1:]:
             if later.status is LockStatus.SCHEDULED and \
@@ -261,15 +350,22 @@ class EventualVisibilityController(PlanExecutionMixin):
         lineage = self.table.lineage(command.device_id)
         entry = lineage.entry_for(run.routine_id)
         if entry is None:
-            return  # not placed yet
+            return  # not placed yet; place_run pumps after placement
         if entry.status is LockStatus.SCHEDULED:
-            if not lineage.can_acquire(run.routine_id,
+            if not lineage.try_acquire(entry, self.sim.now,
                                        finished=self.is_finished,
                                        wants_read=entry.reads):
-                return  # blocked; a release will pump again
-            lineage.acquire(run.routine_id, self.sim.now)
-            self._journal("lineage-acquired", routine_id=run.routine_id,
-                          device_id=command.device_id)
+                # Blocked: register so the next release on this device
+                # pumps us again (stale entries are filtered on pump).
+                waiting = self._waiters.get(command.device_id)
+                if waiting is None:
+                    waiting = self._waiters[command.device_id] = {}
+                waiting[run.routine_id] = run
+                return
+            if self.journal is not None:
+                self._journal("lineage-acquired",
+                              routine_id=run.routine_id,
+                              device_id=command.device_id)
             if entry.pre_leased:
                 self._arm_revocation(run, entry)
         self._begin(run)
@@ -281,6 +377,46 @@ class EventualVisibilityController(PlanExecutionMixin):
         # guard skips finished runs, so this is trace-equivalent to
         # iterating active_runs() without building the filtered list.
         for run in list(self.runs):
+            if not run.status.finished:
+                self._pump(run)
+
+    def _pump_released(self, device_ids,
+                       also: Optional[RoutineRun] = None) -> None:
+        """Pump the runs lock-blocked on the just-released devices.
+
+        Trace-equivalent to the old full `_pump_all` scan: a serial-mode
+        pump is a no-op unless the run's next command can acquire its
+        lineage entry, and the only runs a release can newly enable are
+        the registered waiters of the released devices — plus, on a
+        post-lease mid-routine release, the releasing run itself
+        (``also``), whose next command the full scan used to issue from
+        its slot in the run list.  Candidates are pumped in submission
+        order (ascending routine id), exactly the order the full scan
+        visited them.  Parallel mode keeps the full scan — plan-DAG
+        readiness is not indexed by device.
+        """
+        if self._parallel_flag:
+            self._pump_all()
+            return
+        waiters = self._waiters
+        candidates: Optional[Dict[int, RoutineRun]] = None
+        for device_id in device_ids:
+            waiting = waiters.get(device_id)
+            if waiting:
+                waiters[device_id] = {}
+                if candidates is None:
+                    candidates = waiting
+                else:
+                    candidates.update(waiting)
+        if candidates is None:
+            # No lock-blocked waiters; the releasing run (if any) gets
+            # its pump from the normal post-command chain.
+            return
+        if also is not None:
+            candidates[also.routine_id] = also
+        runs = candidates.values() if len(candidates) == 1 else \
+            [candidates[rid] for rid in sorted(candidates)]
+        for run in runs:
             if not run.status.finished:
                 self._pump(run)
 
@@ -298,13 +434,14 @@ class EventualVisibilityController(PlanExecutionMixin):
         if entry is None:
             return False    # not placed yet (JiT keeps it queued)
         if entry.status is LockStatus.SCHEDULED:
-            if not lineage.can_acquire(run.routine_id,
+            if not lineage.try_acquire(entry, self.sim.now,
                                        finished=self.is_finished,
                                        wants_read=entry.reads):
                 return False
-            lineage.acquire(run.routine_id, self.sim.now)
-            self._journal("lineage-acquired", routine_id=run.routine_id,
-                          device_id=command.device_id)
+            if self.journal is not None:
+                self._journal("lineage-acquired",
+                              routine_id=run.routine_id,
+                              device_id=command.device_id)
             if entry.pre_leased:
                 self._arm_revocation(run, entry)
         return entry.status is LockStatus.ACQUIRED
@@ -320,22 +457,32 @@ class EventualVisibilityController(PlanExecutionMixin):
                                device_id: int) -> None:
         """Last command on the device finished → post-lease (§4.1)."""
         lineage = self.table.lineage(device_id)
-        entry = lineage.entry_for(run.routine_id)
-        if entry is None or entry.status is not LockStatus.ACQUIRED:
+        index = lineage.index_of(run.routine_id)
+        if index is None:
+            return
+        entry = lineage.entries[index]
+        if entry.status is not LockStatus.ACQUIRED:
             return
         if self.config.post_lease:
-            lineage.release(run.routine_id, self.sim.now)
-            self._journal("lineage-released", routine_id=run.routine_id,
-                          device_id=device_id)
-            if lineage.index_of(run.routine_id) + 1 < len(lineage.entries):
+            # Inline release (the ACQUIRED guard above is release()'s
+            # precondition); index is reused for the post-lease stat
+            # instead of a second lineage scan.
+            entry.status = LockStatus.RELEASED
+            entry.released_at = self.sim.now
+            if self.journal is not None:
+                self._journal("lineage-released",
+                              routine_id=run.routine_id,
+                              device_id=device_id)
+            if index + 1 < len(lineage.entries):
                 self.scheduler_stats["post_leases"] += 1
             self._cancel_revocation(run, device_id)
-            self._notify_release(device_id)
+            self._notify_release(device_id, run)
         # With post-leasing off the entry stays ACQUIRED until finish.
 
-    def _notify_release(self, device_id: int) -> None:
+    def _notify_release(self, device_id: int,
+                        releasing: Optional[RoutineRun] = None) -> None:
         self.scheduler.on_release(device_id)
-        self._pump_all()
+        self._pump_released((device_id,), also=releasing)
 
     # -- finish: commit with compaction (§4.3, Fig 7) ----------------------------------
 
@@ -345,9 +492,8 @@ class EventualVisibilityController(PlanExecutionMixin):
         # writes — remember them per device, or a later pre-lease could
         # contradict an order that only this (about-to-vanish) routine's
         # entries were witnessing.
-        closures = self.closure_sets()
         before_commit = {
-            rid for rid in closures.get(run.routine_id, (set(), set()))[0]
+            rid for rid in self._predecessor_index().pre(run.routine_id)
             if not self.is_finished(rid) and rid != run.routine_id}
         released_devices: List[int] = []
         for device_id in run.routine.device_ids:
@@ -366,10 +512,11 @@ class EventualVisibilityController(PlanExecutionMixin):
                                          source=run.routine_id)
                 compacted = self.table.compact_commit(run.routine_id,
                                                       device_id)
-                self._journal("lineage-compacted",
-                              routine_id=run.routine_id,
-                              device_id=device_id,
-                              removed=sorted(compacted))
+                if self.journal is not None:
+                    self._journal("lineage-compacted",
+                                  routine_id=run.routine_id,
+                                  device_id=device_id,
+                                  removed=sorted(compacted))
                 if before_commit:
                     self.compacted_before.setdefault(
                         device_id, set()).update(before_commit)
@@ -381,7 +528,7 @@ class EventualVisibilityController(PlanExecutionMixin):
             self.table.verify_all()
         for device_id in released_devices:
             self.scheduler.on_release(device_id)
-        self._pump_all()
+        self._pump_released(released_devices)
 
     def _policy_after_finish(self, run: RoutineRun) -> None:
         for hidden in self.compacted_before.values():
@@ -413,7 +560,7 @@ class EventualVisibilityController(PlanExecutionMixin):
             self.table.verify_all()
         for device_id in released_devices:
             self.scheduler.on_release(device_id)
-        self._pump_all()
+        self._pump_released(released_devices)
 
     def _restore_device(self, run: RoutineRun, device_id: int,
                         target: Any) -> None:
@@ -436,7 +583,7 @@ class EventualVisibilityController(PlanExecutionMixin):
                     + self.config.revoke_slack_s)
         event = self.sim.call_after(
             deadline, self._revoke, run, entry.device_id,
-            label=f"revoke:{run.name}:{entry.device_id}")
+            label="revoke")
         self._revocations[(run.routine_id, entry.device_id)] = event
 
     def _cancel_revocation(self, run: RoutineRun, device_id: int) -> None:

@@ -14,6 +14,7 @@ follows a ``RELEASED`` access whose owner has not finished.
 """
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -169,18 +170,46 @@ class Lineage:
                 return False
         return False                      # routine has no entry here
 
+    def try_acquire(self, entry: LockAccess, now: float, *,
+                    finished: Callable[[int], bool],
+                    wants_read: bool = False) -> bool:
+        """Fused :meth:`can_acquire` + :meth:`acquire` for the pump path.
+
+        One pass over the entries decides acquirability (every earlier
+        entry RELEASED, no dirty read) and, when granted, flips
+        ``entry`` to ACQUIRED in place — the same outcome as the
+        two-call sequence, without re-scanning the list three times.
+        ``entry`` must be this lineage's SCHEDULED access for the
+        routine (the caller just looked it up via :meth:`entry_for`).
+        """
+        released = LockStatus.RELEASED
+        for earlier in self.entries:
+            if earlier is entry:
+                entry.status = LockStatus.ACQUIRED
+                entry.acquired_at = now
+                self.check_local_invariants()
+                return True
+            if earlier.status is not released:
+                return False
+            if earlier.writes and wants_read \
+                    and not finished(earlier.routine_id):
+                return False    # dirty read (§4.1)
+        return False            # entry not in this lineage
+
     def acquire(self, routine_id: int, now: float) -> LockAccess:
         index = self.index_of(routine_id)
         if index is None:
             raise LineageInvariantError(
                 f"routine {routine_id} has no access on device "
                 f"{self.device_id}")
-        for earlier in self.entries[:index]:
+        entries = self.entries
+        for i in range(index):       # no slice allocation: hot path
+            earlier = entries[i]
             if earlier.status is not LockStatus.RELEASED:
                 raise LineageInvariantError(
                     f"acquire out of order on device {self.device_id}: "
                     f"{earlier} precedes R{routine_id}")
-        entry = self.entries[index]
+        entry = entries[index]
         if entry.status is not LockStatus.SCHEDULED:
             raise LineageInvariantError(
                 f"double acquire by R{routine_id} on device {self.device_id}")
@@ -203,17 +232,21 @@ class Lineage:
 
     def check_local_invariants(self) -> None:
         """Invariants 2 and 3 for this lineage; raises on violation."""
-        acquired = sum(1 for e in self.entries
-                       if e.status is LockStatus.ACQUIRED)
-        if acquired > 1:
-            raise LineageInvariantError(
-                f"invariant 2 violated on device {self.device_id}: "
-                f"{acquired} ACQUIRED entries")
-        ranks = [_STATUS_RANK[e.status] for e in self.entries]
-        if ranks != sorted(ranks):
-            raise LineageInvariantError(
-                f"invariant 3 violated on device {self.device_id}: "
-                f"{self.entries}")
+        acquired = 0
+        last_rank = 0
+        for e in self.entries:      # single pass, no list builds
+            rank = _STATUS_RANK[e.status]
+            if rank == 1:
+                acquired += 1
+                if acquired > 1:
+                    raise LineageInvariantError(
+                        f"invariant 2 violated on device {self.device_id}"
+                        f": {acquired} ACQUIRED entries")
+            if rank < last_rank:
+                raise LineageInvariantError(
+                    f"invariant 3 violated on device {self.device_id}: "
+                    f"{self.entries}")
+            last_rank = rank
 
     def planned_overlaps(self) -> List[Tuple[LockAccess, LockAccess]]:
         """Invariant 1 check on *scheduled* planned times."""
@@ -348,8 +381,6 @@ class Lineage:
              end_estimator: Optional[Callable[[LockAccess], float]] = None
              ) -> List[Gap]:
         """Free intervals from ``now`` on, each tagged with insert index."""
-        import math
-
         intervals = self.projected_intervals(now, end_estimator)
         gaps: List[Gap] = []
         cursor = now

@@ -81,15 +81,24 @@ class Routine:
             previous = dev
 
     # -- derived footprint ---------------------------------------------------
+    #
+    # The footprint views below are cached on first use: commands are
+    # fixed after construction (the contiguity check would be meaningless
+    # otherwise) and the controllers re-derive these on every placement,
+    # finish and rollback.  Callers must treat the returned lists as
+    # read-only.
 
     @property
     def device_ids(self) -> List[int]:
         """Devices touched, in first-touch order (no duplicates)."""
-        ordered: List[int] = []
-        for command in self.commands:
-            if command.device_id not in ordered:
-                ordered.append(command.device_id)
-        return ordered
+        cached = self.__dict__.get("_device_ids")
+        if cached is None:
+            ordered: List[int] = []
+            for command in self.commands:
+                if command.device_id not in ordered:
+                    ordered.append(command.device_id)
+            cached = self.__dict__["_device_ids"] = ordered
+        return cached
 
     @property
     def device_set(self) -> frozenset:
@@ -102,7 +111,11 @@ class Routine:
     @property
     def total_duration(self) -> float:
         """Ideal (lock-wait-free) execution time of the routine."""
-        return sum(c.duration for c in self.commands)
+        cached = self.__dict__.get("_total_duration")
+        if cached is None:
+            cached = self.__dict__["_total_duration"] = \
+                sum(c.duration for c in self.commands)
+        return cached
 
     @property
     def is_long(self) -> bool:
@@ -118,23 +131,44 @@ class Routine:
         return offsets
 
     def lock_requests(self) -> List[LockRequest]:
-        """Per-device lock-accesses in first-touch order."""
-        offsets = self.command_offsets()
+        """Per-device lock-accesses in first-touch order.
+
+        Single pass over the commands: per-device groups are contiguous
+        (enforced at construction), so a device's span closes when the
+        next device begins.  Offsets accumulate the same left-to-right
+        float additions :meth:`command_offsets` performs.
+        """
+        cached = self.__dict__.get("_lock_requests")
+        if cached is not None:
+            return cached
         requests: List[LockRequest] = []
-        for device_id in self.device_ids:
-            indexes = [i for i, c in enumerate(self.commands)
-                       if c.device_id == device_id]
-            start = offsets[indexes[0]]
-            last = indexes[-1]
-            end = offsets[last] + self.commands[last].duration
+        elapsed = 0.0
+        device_id: Optional[int] = None
+        start = 0.0
+        indexes: List[int] = []
+        writes = reads = False
+        for index, command in enumerate(self.commands):
+            if command.device_id != device_id:
+                if device_id is not None:
+                    requests.append(LockRequest(
+                        device_id=device_id, offset=start,
+                        duration=elapsed - start,
+                        command_indexes=tuple(indexes),
+                        writes=writes, reads=reads))
+                device_id = command.device_id
+                start = elapsed
+                indexes = []
+                writes = reads = False
+            indexes.append(index)
+            writes = writes or command.is_write
+            reads = reads or command.is_read
+            elapsed += command.duration
+        if device_id is not None:
             requests.append(LockRequest(
-                device_id=device_id,
-                offset=start,
-                duration=end - start,
-                command_indexes=tuple(indexes),
-                writes=any(self.commands[i].is_write for i in indexes),
-                reads=any(self.commands[i].is_read for i in indexes),
-            ))
+                device_id=device_id, offset=start,
+                duration=elapsed - start, command_indexes=tuple(indexes),
+                writes=writes, reads=reads))
+        self.__dict__["_lock_requests"] = requests
         return requests
 
     def final_write_values(self) -> Dict[int, Any]:
@@ -143,11 +177,14 @@ class Routine:
         Used by the serial-equivalence checkers: in a serial world, a
         routine's effect on each device is its last write.
         """
-        values: Dict[int, Any] = {}
-        for command in self.commands:
-            if command.is_write:
-                values[command.device_id] = command.value
-        return values
+        cached = self.__dict__.get("_final_writes")
+        if cached is None:
+            values: Dict[int, Any] = {}
+            for command in self.commands:
+                if command.is_write:
+                    values[command.device_id] = command.value
+            cached = self.__dict__["_final_writes"] = values
+        return cached
 
     def describe(self) -> str:
         steps = "; ".join(c.describe() for c in self.commands)

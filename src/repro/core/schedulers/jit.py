@@ -64,7 +64,7 @@ class JiTScheduler(Scheduler):
         """Placement if every lock is acquirable now, else ``None``."""
         controller = self.controller
         config = controller.config
-        closures = controller.closure_sets()
+        closures = controller.closure_index()
         pre: set = set()
         post: set = set()
         placements: List[Placement] = []

@@ -14,7 +14,8 @@ runtime when the plain tail placement would stretch it less.
 """
 
 import time as _time
-from typing import Callable, Dict, List, Optional, Tuple
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.controller import RoutineRun
 from repro.core.ev import Placement
@@ -52,16 +53,51 @@ class TimelineScheduler(Scheduler):
         requests = run.routine.lock_requests()
         durations = [controller.estimate_duration(run, request)
                      for request in requests]
+
+        # Fast path: when every requested device's lineage is empty (no
+        # live entries, no compacted-before ghosts) — ~80% of fleet-mix
+        # placements — the search degenerates to the tail chain: each
+        # access lands in its device's sole (index 0, now → ∞) gap with
+        # empty preSet/postSet, which is exactly what the backtracking
+        # search below computes gap-by-gap.  Skips the gap projection,
+        # closure build and recursion without changing one placement.
+        table = controller.table
+        compacted = controller.compacted_before
+        empty = True
+        for request in requests:
+            if table.lineage(request.device_id).entries or \
+                    compacted.get(request.device_id):
+                empty = False
+                break
+        if empty:
+            chain = self.chains_devices()
+            placements = []
+            earliest = now
+            for request, duration in zip(requests, durations):
+                placements.append(Placement(request, 0, earliest,
+                                            duration))
+                if chain:
+                    earliest += duration
+            return self._admit(run, placements, durations)
+
         estimator = controller.routine_end_estimator()
-        gaps_by_device: Dict[int, List[Gap]] = {}
+        # Per device: the (truncated) gap list plus a bisect index over
+        # the gap *end* times.  Gaps are disjoint and time-ordered, so
+        # ends are increasing and every gap with ``end < earliest +
+        # duration`` can be skipped wholesale — those are exactly the
+        # gaps the old linear scan rejected one ``fits`` call at a time.
+        gaps_by_device: Dict[
+            int, Tuple[List[Gap], List[float], List[int]]] = {}
         for request in requests:
             lineage = controller.table.lineage(request.device_id)
             gaps = lineage.gaps(now, estimator)
             if not controller.config.pre_lease:
                 gaps = gaps[-1:]  # tail only: no placement before others
-            gaps_by_device[request.device_id] = gaps[:MAX_GAPS_PER_ACCESS]
+            gaps = gaps[:MAX_GAPS_PER_ACCESS]
+            gaps_by_device[request.device_id] = (
+                gaps, [gap.end for gap in gaps], lineage.owners())
 
-        closures = controller.closure_sets()
+        closures = controller.closure_index()
         assignment: List[Optional[Placement]] = [None] * len(requests)
         chain = self.chains_devices()
 
@@ -72,12 +108,14 @@ class TimelineScheduler(Scheduler):
                 return True
             request = requests[index]
             duration = durations[index]
-            for gap in gaps_by_device[request.device_id]:
+            gaps, ends, owners = gaps_by_device[request.device_id]
+            for gap in gaps[bisect_left(ends, earliest + duration):]:
                 if not gap.fits(earliest, duration):
                     continue
                 start = gap.placement(earliest)
                 gap_pre, gap_post = controller.before_after_for_gap(
-                    request.device_id, gap.index, closures)
+                    request.device_id, gap.index, closures,
+                    owners=owners)
                 cur_pre = pre | gap_pre
                 cur_post = post | gap_post
                 if cur_pre & cur_post:

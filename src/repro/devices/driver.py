@@ -53,48 +53,68 @@ class Driver:
     def __post_init__(self) -> None:
         if self.streams is None:
             self.streams = RandomStreams(seed=0)
+        # The network stream is drawn once per command; resolve the
+        # named-stream lookup once instead of per call.
+        self._network = self.streams.stream("network")
 
     def _delay(self) -> float:
-        return self.latency.sample(self.streams.stream("network"))
+        return self.latency.sample(self._network)
+
+    def reset(self) -> None:
+        """Clear per-run state after the owning stack was re-seeded.
+
+        The sim/registry/streams objects are reused by reference (the
+        fleet home factory resets them in place); the driver only needs
+        to drop its audit log, re-resolve the network stream from the
+        re-keyed family and detach the previous home's timeout hook.
+        """
+        self.records.clear()
+        self._network = self.streams.stream("network")
+        self.on_timeout = None
 
     def issue(self, device_id: int, value: Any, source: Any,
-              callback: Callable[[CommandOutcome, Any], None]) -> None:
+              callback: Callable[..., None],
+              cb_args: tuple = ()) -> None:
         """Issue ``set device := value``; invoke ``callback(outcome,
-        prior)`` when done, where ``prior`` is the state the device held
-        just before the write landed (the rollback target).
+        prior, *cb_args)`` when done, where ``prior`` is the state the
+        device held just before the write landed (the rollback target).
 
         The state change lands after one network delay; if the device is
         failed at landing time the call times out ``timeout_s`` later.
+        The landing runs as a bound method with explicit event args (no
+        per-command closure) — this path fires once per command in every
+        fleet home; ``cb_args`` lets callers route context the same way.
         """
-        issued_at = self.sim.now
-        delay = self._delay()
+        self.sim.call_after(self._delay(), self._land, self.sim.now,
+                            device_id, value, source, callback, cb_args,
+                            label="land")
 
-        def land() -> None:
-            device = self.registry.get(device_id)
-            if device.failed:
-                self.sim.call_after(
-                    self.timeout_s, self._timed_out,
-                    issued_at, device_id, value, source, callback,
-                    label=f"timeout:{device.name}")
-                return
-            prior = device.state
-            device.apply(value, self.sim.now, source)
-            self.records.append(IssueRecord(
-                issued_at, self.sim.now, device_id, value,
-                CommandOutcome.APPLIED, source))
-            callback(CommandOutcome.APPLIED, prior)
-
-        self.sim.call_after(delay, land, label=f"land:{device_id}")
+    def _land(self, issued_at: float, device_id: int, value: Any,
+              source: Any, callback: Callable[..., None],
+              cb_args: tuple) -> None:
+        device = self.registry.get(device_id)
+        if device.failed:
+            self.sim.call_after(
+                self.timeout_s, self._timed_out,
+                issued_at, device_id, value, source, callback, cb_args,
+                label=f"timeout:{device.name}")
+            return
+        prior = device.state
+        device.apply(value, self.sim.now, source)
+        self.records.append(IssueRecord(
+            issued_at, self.sim.now, device_id, value,
+            CommandOutcome.APPLIED, source))
+        callback(CommandOutcome.APPLIED, prior, *cb_args)
 
     def _timed_out(self, issued_at: float, device_id: int, value: Any,
-                   source: Any,
-                   callback: Callable[[CommandOutcome, Any], None]) -> None:
+                   source: Any, callback: Callable[..., None],
+                   cb_args: tuple = ()) -> None:
         self.records.append(IssueRecord(
             issued_at, self.sim.now, device_id, value,
             CommandOutcome.TIMED_OUT, source))
         if self.on_timeout is not None:
             self.on_timeout(device_id)
-        callback(CommandOutcome.TIMED_OUT, None)
+        callback(CommandOutcome.TIMED_OUT, None, *cb_args)
 
     def ping(self, device_id: int,
              callback: Callable[[CommandOutcome], None]) -> None:

@@ -29,7 +29,11 @@ class LatencyModel:
         """One latency draw, in *seconds*."""
         if self.sigma <= 0:
             return self.median_ms / 1000.0
-        mu = math.log(self.median_ms)
+        # math.log(median) is invariant per model but sample() runs once
+        # per command in every fleet home — memoize it on the instance.
+        mu = self.__dict__.get("_mu")
+        if mu is None:
+            mu = self.__dict__["_mu"] = math.log(self.median_ms)
         draw = rng.lognormvariate(mu, self.sigma)
         return max(self.floor_ms, draw) / 1000.0
 

@@ -108,5 +108,15 @@ class DeviceRegistry:
             device.failed = False
             device.write_log.clear()
 
+    def clear(self) -> None:
+        """Drop the whole inventory (ids restart at 0).
+
+        The fleet's home factory reuses one registry across homes whose
+        device sets differ; clearing is equivalent to a fresh registry.
+        """
+        self._by_id.clear()
+        self._by_name.clear()
+        self._next_id = 0
+
     def subset(self, ids: Iterable[int]) -> List[Device]:
         return [self.get(i) for i in ids]

@@ -2,11 +2,14 @@
 
 The paper evaluates one SafeHome hub at a time; a production deployment
 runs millions of independent hubs.  This package is the architectural
-seam for that scale-out: it shards N :class:`~repro.hub.safehome.SafeHome`
-instances across a pluggable worker pool (serial / thread / process),
-splits one master seed into per-home seeds deterministically
-(:mod:`repro.fleet.seeding`), and batch-aggregates cross-home metrics
-(:func:`repro.metrics.fleet.aggregate_homes`).
+seam for that scale-out: it streams N
+:class:`~repro.hub.safehome.SafeHome` simulations through a persistent
+worker pool (serial / thread / process — :mod:`repro.fleet.pool`),
+reuses one hub per worker via :class:`~repro.fleet.worker.HomeFactory`
+resets, splits one master seed into per-home seeds deterministically
+(:mod:`repro.fleet.seeding`), and aggregates cross-home metrics either
+exactly or through mergeable per-chunk accumulators
+(:mod:`repro.metrics.fleet`).
 
 Quick start::
 
@@ -16,15 +19,18 @@ Quick start::
     print(result.to_json())
 
 Determinism contract: a fleet run is a pure function of its
-:class:`FleetConfig` — backend choice, worker count and sharding never
-change a single byte of the aggregate JSON.
+:class:`FleetConfig` — backend choice, worker count and chunk size
+never change a single byte of the default (exact-aggregation) JSON.
 """
 
 from repro.fleet.engine import (BACKENDS, FleetConfig, FleetEngine,
                                 FleetResult, register_backend, run_fleet)
+from repro.fleet.pool import (POOLS, HomeTask, WorkerContext, WorkerPool,
+                              default_chunk_size, plan_chunks,
+                              register_pool)
 from repro.fleet.seeding import SeedSplitter, home_seed
 from repro.fleet.sharding import HomeSpec, Shard, plan_shards
-from repro.fleet.worker import run_home, run_shard
+from repro.fleet.worker import HomeFactory, run_home, run_shard
 
 __all__ = [
     "FleetConfig",
@@ -33,6 +39,14 @@ __all__ = [
     "run_fleet",
     "BACKENDS",
     "register_backend",
+    "POOLS",
+    "WorkerPool",
+    "WorkerContext",
+    "HomeTask",
+    "HomeFactory",
+    "default_chunk_size",
+    "plan_chunks",
+    "register_pool",
     "SeedSplitter",
     "home_seed",
     "HomeSpec",

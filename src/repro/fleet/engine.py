@@ -1,25 +1,35 @@
-"""The fleet engine: N independent homes across a pluggable worker pool.
+"""The fleet engine: N independent homes across a persistent worker pool.
 
-Execution backends are registered by name; the built-ins are
+Execution pools are registered by name (see :mod:`repro.fleet.pool`);
+the built-ins are
 
-* ``serial``  — run every shard inline (the reference backend);
-* ``thread``  — a :class:`~concurrent.futures.ThreadPoolExecutor`
-  (cheap to start; simulations are pure Python so the GIL serializes
-  compute, which makes this mostly a correctness backend);
-* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
-  for real multi-core throughput.
+* ``serial``  — run every chunk inline (the reference backend);
+* ``thread``  — persistent thread workers (GIL-bound; correctness);
+* ``process`` — persistent process workers for multi-core throughput,
+  with the shared config broadcast once per worker and homes shipped as
+  compact ``(home_id, scenario, seed)`` tuples.
 
-All backends receive the same shard plan and return per-home rows that
-are re-sorted by home id before aggregation, so the choice of backend
-or worker count never changes the output bytes.
+All pools receive the same chunk plan and return per-home rows that are
+re-sorted by home id before aggregation, so the choice of backend,
+worker count or chunk size never changes the default output bytes.
+Streaming aggregation (``aggregate="stream"``) pre-reduces chunks in
+the workers and merges O(workers) partials in the parent — histogram
+percentiles within one bin of the exact pooled values; the default
+``"exact"`` mode preserves the byte-identical pooled-percentile path.
+
+Custom backends registered through :func:`register_backend` (the PR-1
+API: ``callable(shards, workers) -> rows``) keep working through the
+legacy shard path.
 """
 
 import json
 import os
-from concurrent import futures
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
+from repro.fleet.pool import (AGGREGATE_MODES, POOLS, ChunkResult,
+                              WorkerContext, default_chunk_size,
+                              plan_chunks)
 from repro.fleet.seeding import SeedSplitter
 from repro.fleet.sharding import (DEFAULT_CHECK_FINAL, DEFAULT_CRASHES,
                                   DEFAULT_EXECUTION,
@@ -28,7 +38,7 @@ from repro.fleet.sharding import (DEFAULT_CHECK_FINAL, DEFAULT_CRASHES,
                                   DEFAULT_RECOVERY, DEFAULT_SCHEDULER,
                                   HomeSpec, Shard, plan_shards)
 from repro.fleet.worker import run_shard
-from repro.metrics.fleet import aggregate_homes
+from repro.metrics.fleet import aggregate_homes, merge_accumulators
 from repro.workloads.fleet_mix import DEFAULT_MIX, scenario_for_home
 
 Rows = List[Dict[str, Any]]
@@ -42,28 +52,20 @@ def _run_serial(shards: List[Shard], workers: int) -> Rows:
     return rows
 
 
-def _run_threads(shards: List[Shard], workers: int) -> Rows:
-    with futures.ThreadPoolExecutor(max_workers=workers) as pool:
-        return [row for shard_rows in pool.map(run_shard, shards)
-                for row in shard_rows]
-
-
-def _run_processes(shards: List[Shard], workers: int) -> Rows:
-    with futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return [row for shard_rows in pool.map(run_shard, shards)
-                for row in shard_rows]
-
-
-#: Backend registry: name → callable(shards, workers) → rows.
+#: Legacy backend registry (PR-1 API): name → callable(shards, workers)
+#: → rows.  The built-in names resolve to pools in :data:`POOLS` first;
+#: entries here are reached only through :func:`register_backend`.
 BACKENDS: Dict[str, Backend] = {
     "serial": _run_serial,
-    "thread": _run_threads,
-    "process": _run_processes,
 }
 
 
 def register_backend(name: str, backend: Backend) -> None:
-    """Plug in a custom execution backend (e.g. an async or RPC pool)."""
+    """Plug in a custom shard-level backend (e.g. an RPC fan-out).
+
+    For pool-level extensions (chunk streaming, persistent workers)
+    prefer :func:`repro.fleet.pool.register_pool`.
+    """
     if not callable(backend):
         raise TypeError("backend must be callable(shards, workers) -> rows")
     BACKENDS[name] = backend
@@ -82,6 +84,12 @@ class FleetConfig:
     execution: str = DEFAULT_EXECUTION
     backend: str = "serial"
     workers: int = 0                # 0 = one per CPU (capped at homes)
+    # Homes per dispatch chunk; 0 = ceil(homes / workers), the
+    # IPC-amortizing default.  Smaller chunks stream better.
+    chunk: int = 0
+    # "exact" pools raw latency samples in the parent (byte-identical
+    # default); "stream" merges per-chunk FleetAccumulator partials.
+    aggregate: str = "exact"
     check_final: bool = DEFAULT_CHECK_FINAL
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT
     max_events: int = DEFAULT_MAX_EVENTS
@@ -92,6 +100,11 @@ class FleetConfig:
     def effective_workers(self) -> int:
         workers = self.workers or (os.cpu_count() or 1)
         return max(1, min(workers, self.homes))
+
+    def effective_chunk(self) -> int:
+        if self.chunk:
+            return max(1, min(self.chunk, self.homes))
+        return default_chunk_size(self.homes, self.effective_workers())
 
 
 @dataclass
@@ -135,6 +148,12 @@ class FleetResult:
             # Same rule for the hub-crash chaos schedule.
             payload["fleet"]["crashes"] = self.config.crashes
             payload["fleet"]["recovery"] = self.config.recovery
+        if self.config.aggregate != "exact":
+            # Streaming percentiles are histogram-resolution and the
+            # float means fold in chunk order, so the layout knobs are
+            # part of the reproducibility recipe.
+            payload["fleet"]["aggregate"] = self.config.aggregate
+            payload["fleet"]["chunk"] = self.config.effective_chunk()
         if per_home:
             payload["homes"] = [
                 {key: value for key, value in row.items()
@@ -144,18 +163,50 @@ class FleetResult:
 
 
 class FleetEngine:
-    """Shards N homes over a worker pool and aggregates their metrics."""
+    """Chunks N homes over a persistent worker pool and aggregates."""
 
     def __init__(self, config: FleetConfig) -> None:
         if config.homes <= 0:
             raise ValueError(f"fleet needs >= 1 home, got {config.homes}")
-        if config.backend not in BACKENDS:
-            raise ValueError(f"unknown backend {config.backend!r}; "
-                             f"pick from {sorted(BACKENDS)}")
+        if config.backend not in POOLS and config.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {config.backend!r}; pick from "
+                f"{sorted(set(POOLS) | set(BACKENDS))}")
+        if config.aggregate not in AGGREGATE_MODES:
+            raise ValueError(
+                f"unknown aggregate mode {config.aggregate!r}; "
+                f"pick from {AGGREGATE_MODES}")
+        if config.aggregate == "stream" and config.backend not in POOLS:
+            # Legacy shard backends return bare rows with no partials;
+            # silently degrading to exact would contradict the layout
+            # knobs to_json stamps into streaming payloads.
+            raise ValueError(
+                f"aggregate='stream' needs a pool backend "
+                f"({sorted(POOLS)}); {config.backend!r} is a legacy "
+                f"shard backend")
         # Fail fast on bad scenario/mix names before spinning up a pool.
         scenario_for_home(0, config.scenario, config.mix)
         self.config = config
         self.splitter = SeedSplitter(master_seed=config.seed)
+
+    def context(self) -> WorkerContext:
+        """The per-run shared config broadcast once to every worker."""
+        config = self.config
+        return WorkerContext(
+            model=config.model, scheduler=config.scheduler,
+            execution=config.execution, check_final=config.check_final,
+            exhaustive_limit=config.exhaustive_limit,
+            max_events=config.max_events, crashes=config.crashes,
+            recovery=config.recovery, aggregate=config.aggregate)
+
+    def tasks(self) -> List[Tuple[int, str, int]]:
+        """Compact per-home dispatch tuples: pure function of config."""
+        config = self.config
+        for_home = self.splitter.for_home
+        return [(home_id,
+                 scenario_for_home(home_id, config.scenario, config.mix),
+                 for_home(home_id))
+                for home_id in range(config.homes)]
 
     def specs(self) -> List[HomeSpec]:
         """The per-home specs: pure function of the config."""
@@ -163,9 +214,8 @@ class FleetEngine:
         return [
             HomeSpec(
                 home_id=home_id,
-                scenario=scenario_for_home(home_id, config.scenario,
-                                           config.mix),
-                seed=self.splitter.for_home(home_id),
+                scenario=scenario,
+                seed=seed,
                 model=config.model,
                 scheduler=config.scheduler,
                 execution=config.execution,
@@ -175,7 +225,7 @@ class FleetEngine:
                 crashes=config.crashes,
                 recovery=config.recovery,
             )
-            for home_id in range(config.homes)
+            for home_id, scenario, seed in self.tasks()
         ]
 
     def run(self) -> FleetResult:
@@ -184,18 +234,32 @@ class FleetEngine:
 
         config = self.config
         workers = config.effective_workers()
-        shards = plan_shards(self.specs(), workers)
         started = time.perf_counter()
-        rows = BACKENDS[config.backend](shards, workers)
+        if config.backend in POOLS:
+            chunks = plan_chunks(self.tasks(), config.effective_chunk())
+            pool = POOLS[config.backend](workers)
+            results: List[ChunkResult] = pool.run(self.context(), chunks)
+            rows = [row for result in results for row in result.rows]
+        else:
+            # Legacy custom backend: shard-level API, exact aggregation.
+            shards = plan_shards(self.specs(), workers)
+            rows = BACKENDS[config.backend](shards, workers)
+            results = []
         elapsed = time.perf_counter() - started
         rows = sorted(rows, key=lambda row: row["home_id"])
         if len(rows) != config.homes:
             raise RuntimeError(
                 f"backend {config.backend!r} returned {len(rows)} rows "
                 f"for {config.homes} homes")
+        if config.aggregate == "stream" and results:
+            # Partials merge in chunk order — deterministic for a fixed
+            # chunk layout regardless of completion order.
+            aggregate = merge_accumulators(
+                [result.partial for result in results]).aggregate()
+        else:
+            aggregate = aggregate_homes(rows)
         return FleetResult(config=config, rows=rows,
-                           aggregate=aggregate_homes(rows),
-                           elapsed_s=elapsed)
+                           aggregate=aggregate, elapsed_s=elapsed)
 
 
 def run_fleet(homes: int, seed: int = 0, **kwargs: Any) -> FleetResult:

@@ -1,9 +1,14 @@
-"""The fleet worker: simulate one home (or one shard) end-to-end.
+"""The fleet worker: simulate one home (or one chunk) end-to-end.
 
-Module-level functions only — process pools pickle ``run_shard`` plus a
-tuple of :class:`~repro.fleet.sharding.HomeSpec` dataclasses, and every
-worker rebuilds its workloads locally from the spec.  A row is plain
+Workers rebuild workloads locally from compact specs — a row is plain
 JSON-serializable data so results cross process boundaries cheaply.
+
+Per-worker home reuse: a :class:`HomeFactory` keeps ONE
+:class:`~repro.hub.safehome.SafeHome` alive and ``reset()``s it
+between homes (re-seeding the simulator, clearing the registry and
+re-keying the RNG streams in place) instead of rebuilding the whole
+stack per home.  Reset-vs-fresh equivalence is property-tested over
+all five visibility models in ``tests/test_fleet.py``.
 
 When a spec carries a hub-crash schedule (``crashes > 0``) the worker
 builds a *durable* hub, crashes it at seed-derived virtual times,
@@ -13,7 +18,7 @@ the home is non-durable and the row is byte-identical to pre-durability
 fleets.
 """
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.fleet.sharding import HomeSpec, Shard
 from repro.hub.safehome import SafeHome
@@ -38,7 +43,50 @@ def _crash_times(spec: HomeSpec, horizon: float) -> List[float]:
     return distinct
 
 
-def run_home(spec: HomeSpec) -> Dict[str, Any]:
+class HomeFactory:
+    """Build-or-reuse one ``SafeHome`` per worker.
+
+    The first task constructs the hub; every later task ``reset()``s
+    it with the next home's seed.  The context fixes everything else
+    (model, scheduler, execution, durability), so a reset hub is
+    byte-equivalent to a fresh one — the equivalence property test in
+    ``tests/test_fleet.py`` pins that across all visibility models.
+    """
+
+    def __init__(self, context) -> None:
+        self.context = context
+        self._home: Optional[SafeHome] = None
+
+    def acquire(self, seed: int) -> SafeHome:
+        """A hub seeded for the next home (fresh once, then reused)."""
+        context = self.context
+        durability = bool(context.crashes)
+        home = self._home
+        if home is None:
+            home = self._home = SafeHome(
+                visibility=context.model, scheduler=context.scheduler,
+                execution=context.execution, seed=seed,
+                durability=durability)
+            return home
+        return home.reset(seed=seed, durability=durability)
+
+    def run_task(self, task) -> Dict[str, Any]:
+        """Simulate one compact ``(home_id, scenario, seed)`` task."""
+        home_id, scenario, seed = task
+        context = self.context
+        spec = HomeSpec(
+            home_id=home_id, scenario=scenario, seed=seed,
+            model=context.model, scheduler=context.scheduler,
+            execution=context.execution,
+            check_final=context.check_final,
+            exhaustive_limit=context.exhaustive_limit,
+            max_events=context.max_events,
+            crashes=context.crashes, recovery=context.recovery)
+        return run_home(spec, home=self.acquire(seed))
+
+
+def run_home(spec: HomeSpec,
+             home: Optional[SafeHome] = None) -> Dict[str, Any]:
     """Simulate one home from its spec; return its metrics row.
 
     The home is a full :class:`~repro.hub.safehome.SafeHome` hub — the
@@ -46,11 +94,14 @@ def run_home(spec: HomeSpec) -> Dict[str, Any]:
     workload and analyzed with the §7.1 metrics.  ``latencies`` carries
     the raw per-routine samples so the fleet aggregate can compute true
     cross-home percentiles instead of averaging per-home percentiles.
+    ``home`` lets a :class:`HomeFactory` supply a reset, pre-seeded hub
+    instead of constructing one.
     """
     workload = build_fleet_workload(spec.scenario, seed=spec.seed)
-    home = SafeHome(visibility=spec.model, scheduler=spec.scheduler,
-                    execution=spec.execution, seed=spec.seed,
-                    durability=bool(spec.crashes))
+    if home is None:
+        home = SafeHome(visibility=spec.model, scheduler=spec.scheduler,
+                        execution=spec.execution, seed=spec.seed,
+                        durability=bool(spec.crashes))
     home.load_workload(workload)
     recoveries = []
     if spec.crashes:

@@ -144,7 +144,10 @@ class DurabilityManager:
 
     def observe(self, type_: str, payload: Dict[str, Any],
                 time: float) -> None:
-        self.wal.append(type_, payload, time)
+        # Buffered: the WAL materializes (and sequence-numbers) the
+        # observation at the next event boundary — see on_event_processed
+        # — so the hub's per-decision path only appends a tuple.
+        self.wal.buffer_observation(type_, payload, time)
         if self.config.checkpoint_every:
             self._observations_since_checkpoint += 1
             if self._observations_since_checkpoint >= \
@@ -163,12 +166,18 @@ class DurabilityManager:
     # -- checkpointing ---------------------------------------------------------
 
     def on_event_processed(self) -> None:
-        """Simulator post-event hook: take due checkpoints here."""
+        """Simulator post-event hook: flush the observation buffer
+        (batch JSON-ready record construction per event boundary) and
+        take due checkpoints here."""
+        wal = self.wal
+        if wal._pending:
+            wal.flush()
         if self._checkpoint_due:
             self._checkpoint_due = False
             self.take_checkpoint()
 
     def take_checkpoint(self) -> Checkpoint:
+        self.wal.flush()        # the seq floor must cover the buffer
         self._observations_since_checkpoint = 0
         checkpoint = capture_checkpoint(
             seq=self.wal._next_seq, time=self._now(),

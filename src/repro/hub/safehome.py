@@ -101,6 +101,14 @@ class SafeHome:
         self.driver = Driver(
             sim=self.sim, registry=self.registry,
             latency=ctor["latency"] or LatencyModel(), streams=self.streams)
+        self._build_policy()
+
+    def _build_policy(self) -> None:
+        """Build the policy layers on top of the current substrate
+        (sim / registry / streams / driver).  Split out of
+        :meth:`_build_stack` so :meth:`reset` can reuse the substrate
+        objects in place while rebuilding the per-home state."""
+        ctor = self._ctor
         self.config = ctor["config"] or ControllerConfig()
         self.config.scheduler = ctor["scheduler"]
         if ctor["execution"] is not None:
@@ -119,6 +127,37 @@ class SafeHome:
         self._detector_started = False
         self._initial: Optional[Dict[int, Any]] = None
         self._last_result: Optional[RunResult] = None
+
+    def reset(self, seed: Optional[int] = None,
+              durability: Union[bool, DurabilityConfig, None] = None
+              ) -> "SafeHome":
+        """Re-seed this hub and reuse it for a fresh home.
+
+        Equivalent to constructing ``SafeHome(**same_params, seed=seed,
+        durability=durability)`` — the reset-vs-fresh property test in
+        ``tests/test_fleet.py`` pins byte-identical reports across all
+        visibility models — but reuses the simulator, device registry,
+        RNG-stream family and driver objects in place instead of
+        reallocating them, which is what lets the fleet's
+        :class:`~repro.fleet.worker.HomeFactory` amortize construction
+        across thousands of homes per worker.
+        """
+        if seed is not None:
+            self._ctor["seed"] = seed
+        self.sim.reset()
+        self.registry.clear()
+        self.streams.reseed(self._ctor["seed"])
+        self.driver.reset()
+        self.durability = None
+        self._crashed = False
+        self._pending_crash = None
+        self.recoveries = []
+        self._build_policy()
+        if durability:
+            cfg = durability if isinstance(durability, DurabilityConfig) \
+                else DurabilityConfig()
+            self._attach_durability(cfg)
+        return self
 
     # -- durability plumbing ---------------------------------------------------
 
@@ -189,9 +228,10 @@ class SafeHome:
                          replace: bool = False) -> None:
         self._ensure_alive()
         self.bank.register(routine, replace=replace)
-        self._record_input("routine-registered", {
-            "spec": routine_to_spec(routine, self.registry),
-            "replace": replace})
+        if self.durability is not None:
+            self._record_input("routine-registered", {
+                "spec": routine_to_spec(routine, self.registry),
+                "replace": replace})
 
     def register_routine_spec(self, spec: Union[str, Dict[str, Any]],
                               replace: bool = False) -> Routine:
@@ -235,17 +275,25 @@ class SafeHome:
     def _submit_recorded(self, routine: Routine,
                          when: Optional[float]) -> RoutineRun:
         when = self.sim.now if when is None else when
-        self._record_input("invoked", {
-            "spec": routine_to_spec(routine, self.registry), "when": when})
+        if self.durability is not None:
+            # Payload construction (spec'ing the routine) is deferred
+            # behind the durability check: non-durable hubs submit
+            # thousands of fleet routines and must not pay for WAL
+            # payloads that would be dropped.
+            self._record_input("invoked", {
+                "spec": routine_to_spec(routine, self.registry),
+                "when": when})
         return self.controller.submit(routine, when=when)
 
     def _attach_streams_recorded(self,
                                  streams: List[List[Routine]]) -> None:
         if not any(streams):
             return
-        self._record_input("streams-attached", {
-            "streams": [[routine_to_spec(routine, self.registry)
-                         for routine in stream] for stream in streams]})
+        if self.durability is not None:
+            self._record_input("streams-attached", {
+                "streams": [[routine_to_spec(routine, self.registry)
+                             for routine in stream]
+                            for stream in streams]})
         attach_streams(self.controller, streams)
 
     # -- dispatch (user or trigger initiation) -------------------------------------

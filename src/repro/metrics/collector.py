@@ -66,19 +66,24 @@ class MetricsReport:
 
 
 def parallelism_samples(result: RunResult) -> List[int]:
-    """Concurrent running routines, sampled at every start/end point."""
+    """Concurrent running routines, sampled at every start/end point.
+
+    The count at ``t`` is ``#{start <= t} - #{finish <= t}`` (intervals
+    are half-open), which two bisects answer per point instead of a
+    scan over every interval.
+    """
+    from bisect import bisect_right
+
     intervals = [(run.start_time, run.finish_time) for run in result.runs
                  if run.start_time is not None
                  and run.finish_time is not None]
     if not intervals:
         return []
     points = sorted({t for interval in intervals for t in interval})
-    samples = []
-    for t in points:
-        count = sum(1 for (start, finish) in intervals
-                    if start <= t < finish)
-        samples.append(count)
-    return samples
+    starts = sorted(start for start, _finish in intervals)
+    finishes = sorted(finish for _start, finish in intervals)
+    return [bisect_right(starts, t) - bisect_right(finishes, t)
+            for t in points]
 
 
 def stretch_factors(result: RunResult) -> List[float]:

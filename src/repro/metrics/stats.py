@@ -3,6 +3,67 @@
 from typing import Dict, List, Sequence, Tuple
 
 
+class FixedResolutionHistogram:
+    """Sparse fixed-resolution histogram with exact, mergeable counts.
+
+    The streaming fleet aggregator pre-reduces each worker chunk into
+    one of these so the parent merges O(workers) histograms instead of
+    sorting O(homes × routines) raw latency samples.  Bins are
+    ``int(value / resolution)`` with integer counts, so merging is
+    commutative, associative and byte-deterministic regardless of the
+    order samples or partials arrive in.  A quantile is answered with
+    the *lower edge* of the bin holding the nearest-rank sample —
+    within ``resolution`` of the exact pooled value.
+    """
+
+    __slots__ = ("resolution", "bins", "count")
+
+    def __init__(self, resolution: float = 1e-3) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.resolution = resolution
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        bin_index = int(value / self.resolution)
+        bins = self.bins
+        bins[bin_index] = bins.get(bin_index, 0) + 1
+        self.count += 1
+
+    def extend(self, values: Sequence[float]) -> None:
+        resolution = self.resolution
+        bins = self.bins
+        for value in values:
+            bin_index = int(value / resolution)
+            bins[bin_index] = bins.get(bin_index, 0) + 1
+        self.count += len(values)
+
+    def merge(self, other: "FixedResolutionHistogram") -> None:
+        if other.resolution != self.resolution:
+            raise ValueError(
+                f"cannot merge histograms of resolution "
+                f"{self.resolution} and {other.resolution}")
+        bins = self.bins
+        for bin_index, count in other.bins.items():
+            bins[bin_index] = bins.get(bin_index, 0) + count
+        self.count += other.count
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile (lower bin edge), q in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self.count:
+            return 0.0
+        rank = int((self.count - 1) * q / 100.0)
+        remaining = rank
+        for bin_index in sorted(self.bins):
+            remaining -= self.bins[bin_index]
+            if remaining < 0:
+                return bin_index * self.resolution
+        return max(self.bins) * self.resolution   # unreachable guard
+
+
 def mean(values: Sequence[float]) -> float:
     values = list(values)
     if not values:
@@ -10,11 +71,14 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile, q in [0, 100]."""
+def percentile_sorted(data: Sequence[float], q: float) -> float:
+    """:func:`percentile` over *already sorted* data (no re-sort).
+
+    Callers that need several quantiles of one sample (``summarize``,
+    the fleet aggregator) sort once and fan out through this.
+    """
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    data = sorted(values)
     if not data:
         return 0.0
     if len(data) == 1:
@@ -26,6 +90,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     value = data[low] * (1 - fraction) + data[high] * fraction
     # Clamp: interpolation may overshoot its endpoints by an ulp.
     return min(max(value, data[low]), data[high])
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    return percentile_sorted(sorted(values), q)
 
 
 def median(values: Sequence[float]) -> float:
@@ -52,13 +121,18 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
     if not data:
         return {"n": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
                 "p95": 0.0, "max": 0.0}
+    # Mean is summed in arrival order (float addition is order-
+    # sensitive and reports are byte-stable), then one in-place sort
+    # serves every quantile.
+    average = mean(data)
+    data.sort()
     return {
         "n": len(data),
-        "mean": mean(data),
-        "p50": percentile(data, 50),
-        "p90": percentile(data, 90),
-        "p95": percentile(data, 95),
-        "max": max(data),
+        "mean": average,
+        "p50": percentile_sorted(data, 50),
+        "p90": percentile_sorted(data, 90),
+        "p95": percentile_sorted(data, 95),
+        "max": data[-1],
     }
 
 

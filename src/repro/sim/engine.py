@@ -45,6 +45,22 @@ class Simulator:
         # can reach the exact same boundary deterministically.
         self._post_event_hooks: List[Callable[[], None]] = []
 
+    def reset(self, start: float = 0.0) -> None:
+        """Return this simulator to its just-constructed state.
+
+        Used by the fleet's :class:`~repro.fleet.worker.HomeFactory` to
+        reuse one simulator across homes instead of allocating a fresh
+        clock + queue per home.  Equivalent to ``Simulator(start)`` for
+        all observable behavior (the reset-vs-fresh property test in
+        ``tests/test_fleet.py`` pins this).
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self.clock.now = float(start)
+        self._queue = EventQueue()
+        self._processed = 0
+        self._post_event_hooks = []
+
     @property
     def now(self) -> float:
         return self.clock.now
@@ -119,7 +135,36 @@ class Simulator:
         dispatch = self._dispatch
         bounded = (stop_after_events is not None
                    or max_events is not None)
+        fast = until is None and stop_after_events is None and \
+            not self._post_event_hooks
         try:
+            if fast:
+                # The dominant fleet shape: run-to-drain with no hooks
+                # and no event-index stop (``max_events`` stays honored
+                # as the livelock valve).  The per-event sequence is
+                # _dispatch minus the hook check, with the queue pop,
+                # clock advance and event fire inlined (heap order
+                # guarantees the monotonicity advance_to() re-checks).
+                clock = self.clock
+                pop = queue.pop
+                while queue._live:
+                    event = pop()
+                    clock.now = event.time
+                    callback, event.callback = event.callback, None
+                    callback(*event.args)
+                    self._processed += 1
+                    if max_events is not None and \
+                            self._processed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            f"likely a livelock")
+                    if self._post_event_hooks:
+                        # A callback registered a hook mid-run: leave
+                        # the fast path for the remaining events.
+                        fast = False
+                        break
+                if fast:
+                    return self.now
             while queue:
                 if until is not None:
                     next_time = queue.peek_time()
@@ -150,11 +195,16 @@ class Simulator:
         """Fire one event: advance the clock, run the callback, bump the
         processed count, dispatch post-event hooks.
 
-        The single definition of the per-event sequence — :meth:`run`'s
-        hot loop and :meth:`step` both route through it, so the two can
-        never drift (the durability layer's crash-at-boundary semantics
-        depend on them matching).  The empty-hooks case is hoisted: no
-        loop setup when nothing is registered.
+        The per-event sequence for :meth:`run`'s bounded/hooked loop and
+        :meth:`step`, so those two can never drift (the durability
+        layer's crash-at-boundary semantics depend on them matching —
+        and any run with post-event hooks, durability included, goes
+        through here).  :meth:`run`'s no-hook fast loop inlines this
+        exact sequence minus the hook dispatch; a change to the
+        sequence must be mirrored there (the dispatch-unification test
+        in ``tests/test_bench.py`` compares the traces).  The
+        empty-hooks case is hoisted: no loop setup when nothing is
+        registered.
         """
         self.clock.advance_to(event.time)
         event.fire()

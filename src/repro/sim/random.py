@@ -57,6 +57,16 @@ class RandomStreams:
             self._streams[name] = random.Random(derived)
         return self._streams[name]
 
+    def reseed(self, seed: int) -> None:
+        """Re-key the whole family in place (fleet home reuse).
+
+        Streams are created lazily from ``(name, seed)`` only, so
+        dropping the cache and swapping the seed is equivalent to
+        constructing a fresh ``RandomStreams(seed)``.
+        """
+        self.seed = seed
+        self._streams.clear()
+
     def spawn(self, salt: int) -> "RandomStreams":
         """A new family for an independent trial (``salt`` = trial index)."""
         return RandomStreams(seed=(self.seed * 1_000_003 + salt) & 0x7FFFFFFF)

@@ -435,3 +435,51 @@ class TestDispatchUnification:
         assert hooks_step == hooks_run
         assert sim_step.events_processed == sim_run.events_processed
         assert sim_step.now == sim_run.now
+
+
+class TestFleetPass:
+    """The measured fleet-overhaul before/after table (PR 5)."""
+
+    def load(self):
+        return json.loads(BASELINE_PATH.read_text())
+
+    def test_recorded_fleet_scale_speedup_is_at_least_1_5x(self):
+        fleet_pass = self.load()["fleet_pass"]
+        assert fleet_pass["fleet_scale_speedup"] >= 1.5
+        by_name = {row["name"]: row for row in fleet_pass["rows"]}
+        fleet = by_name["fleet_scale"]
+        assert fleet["after_homes_per_sec"] >= \
+            1.5 * fleet["before_homes_per_sec"]
+        assert fleet["speedup"] == pytest.approx(
+            fleet["after_homes_per_sec"]
+            / fleet["before_homes_per_sec"], rel=1e-3)
+
+    def test_scheduler_insertion_did_not_regress(self):
+        by_name = {row["name"]: row
+                   for row in self.load()["fleet_pass"]["rows"]}
+        assert by_name["scheduler_insertion"]["after_events_per_sec"] >= \
+            by_name["scheduler_insertion"]["before_events_per_sec"]
+
+    def test_recovery_replay_before_after_row_recorded(self):
+        by_name = {row["name"]: row
+                   for row in self.load()["fleet_pass"]["rows"]}
+        row = by_name["recovery_replay"]
+        assert row["before_events_per_sec"] > 0
+        assert row["after_events_per_sec"] >= row["before_events_per_sec"]
+
+    def test_n1000_scaling_row_recorded(self):
+        scaling = self.load()["fleet_pass"]["scaling_n1000"]
+        assert scaling["serial_homes_per_sec"] > 0
+        assert scaling["process_workers"] >= 1
+        # Pool overhead must not eat the scaling: per-worker efficiency
+        # stays near 1 (exact multi-core shape is machine-dependent).
+        assert scaling["pool_efficiency"] >= 0.7
+
+    def test_process_benchmark_registered_and_tracked(self):
+        from repro.bench.suites import load_builtin_suites
+
+        load_builtin_suites()
+        assert "fleet_scale_process" in registry.names("smoke")
+        tracked = self.load()["benchmarks"]["fleet_scale_process"]
+        assert tracked["homes_per_sec"] > 0
+        assert "events_per_sec" not in tracked  # events fire in workers

@@ -383,3 +383,52 @@ class TestParallelDispatchRegression:
                     when=0.5)
         result = home.run()
         assert result.runs[0].done
+
+
+class TestObservationBuffering:
+    """WAL observations buffer per event boundary (PR 5)."""
+
+    def test_buffer_flushes_in_order_before_inputs(self):
+        from repro.hub.durability.wal import WriteAheadLog
+
+        wal = WriteAheadLog()
+        wal.append("device-added", {"type": "light", "name": "a"}, 0.0)
+        wal.buffer_observation("routine-submitted", {"routine_id": 0}, 1.0)
+        wal.buffer_observation("lineage-placed", {"routine_id": 0}, 1.0)
+        assert len(wal) == 3                      # pending counted
+        # An input append drains the buffer first, keeping total order.
+        wal.append("invoked", {"spec": {}}, 2.0)
+        types = [record.type for record in wal.records]
+        assert types == ["device-added", "routine-submitted",
+                         "lineage-placed", "invoked"]
+        assert [record.seq for record in wal.records] == [0, 1, 2, 3]
+
+    def test_reads_and_compaction_drain_the_buffer(self):
+        from repro.hub.durability.wal import WriteAheadLog
+
+        wal = WriteAheadLog()
+        wal.buffer_observation("admission", {"routine_id": 1}, 0.5)
+        assert wal.observations()[0].type == "admission"
+        wal.buffer_observation("detection", {"kind": "failure"}, 0.7)
+        assert wal.flush() == 1
+        assert wal.compact(below_seq=1) == 1
+        assert [r.type for r in wal.records] == ["detection"]
+
+    def test_buffer_rejects_non_observation_types(self):
+        from repro.hub.durability.wal import WriteAheadLog
+
+        wal = WriteAheadLog()
+        with pytest.raises(ValueError):
+            wal.buffer_observation("invoked", {}, 0.0)
+
+    def test_canonical_payload_memoized_and_shared_by_copy(self):
+        from repro.hub.durability.wal import WriteAheadLog
+
+        wal = WriteAheadLog()
+        record = wal.append("detection", {"kind": "failure",
+                                          "device_id": 3}, 1.0)
+        first = record.identity()
+        assert record._canonical is not None
+        copied = WriteAheadLog().copy_record(record)
+        assert copied._canonical is record._canonical
+        assert copied.identity()[1:] == first[1:]

@@ -229,3 +229,181 @@ def test_cli_fleet_rejects_unknown_scenario(capsys):
 
     assert main(["fleet", "--homes", "2", "--scenario", "nope"]) == 2
     assert "unknown" in capsys.readouterr().err
+
+
+# -- chunked streaming execution (PR 5) ----------------------------------------
+
+
+class TestChunkedShardingDeterminism:
+    """Default (exact) fleet JSON bytes are invariant across the whole
+    backend × workers × chunk grid."""
+
+    HOMES = 8
+
+    def reference(self):
+        return run_fleet(self.HOMES, seed=13,
+                         scenario="cooling").to_json(per_home=True)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk", [1, 7, HOMES])
+    def test_grid_matches_reference_bytes(self, backend, workers, chunk):
+        result = run_fleet(self.HOMES, seed=13, scenario="cooling",
+                           backend=backend, workers=workers, chunk=chunk)
+        assert result.to_json(per_home=True) == self.reference()
+
+    def test_chunk_plan_covers_all_homes_contiguously(self):
+        from repro.fleet import plan_chunks
+
+        tasks = [(i, "cooling", i * 11) for i in range(10)]
+        chunks = plan_chunks(tasks, 3)
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3, 1]
+        assert [task for chunk in chunks for task in chunk] == tasks
+        with pytest.raises(ValueError):
+            plan_chunks(tasks, 0)
+
+    def test_default_chunk_is_homes_over_workers(self):
+        from repro.fleet import FleetConfig, default_chunk_size
+
+        assert default_chunk_size(100, 4) == 25
+        assert default_chunk_size(10, 3) == 4
+        assert default_chunk_size(1, 8) == 1
+        config = FleetConfig(homes=100, workers=4, chunk=0)
+        assert config.effective_chunk() == 25
+        assert FleetConfig(homes=100, workers=4,
+                           chunk=7).effective_chunk() == 7
+
+    def test_engine_rejects_bad_aggregate_mode(self):
+        with pytest.raises(ValueError):
+            FleetEngine(FleetConfig(homes=1, aggregate="approximate"))
+
+
+class TestStreamingAggregation:
+    """Mergeable accumulator mode: pre-reduced chunks, merged partials."""
+
+    def test_stream_counts_match_exact_and_percentiles_are_close(self):
+        exact = run_fleet(6, seed=4)
+        stream = run_fleet(6, seed=4, aggregate="stream", chunk=2)
+        e, s = exact.aggregate, stream.aggregate
+        for key in ("homes", "routines", "committed", "aborted",
+                    "abort_rate", "homes_final_checked",
+                    "final_incongruence", "makespan_max"):
+            assert s[key] == e[key], key
+        # Means fold partial float sums in chunk order: equal up to
+        # addition-order ulps.
+        for key in ("temporary_incongruence_mean", "makespan_mean"):
+            assert s[key] == pytest.approx(e[key], rel=1e-12), key
+        assert s["latency"]["n"] == e["latency"]["n"]
+        assert s["latency"]["mean"] == pytest.approx(e["latency"]["mean"])
+        assert s["latency"]["max"] == e["latency"]["max"]
+        # Histogram percentiles are nearest-rank at 1 ms resolution:
+        # within one bin of the exact nearest-rank pooled sample.
+        pooled = sorted(sample for row in exact.rows
+                        for sample in row["latencies"])
+        n = len(pooled)
+        for q in (50, 95, 99):
+            nearest = pooled[int((n - 1) * q / 100.0)]
+            assert abs(s["latency"][f"p{q}"] - nearest) <= 1e-3 + 1e-9
+
+    def test_stream_rows_ship_without_raw_samples(self):
+        stream = run_fleet(4, seed=7, scenario="cooling",
+                           aggregate="stream")
+        assert all("latencies" not in row for row in stream.rows)
+
+    def test_stream_json_deterministic_across_backends_at_fixed_chunk(self):
+        kwargs = dict(seed=4, aggregate="stream", chunk=2)
+        one = run_fleet(6, **kwargs)
+        two = run_fleet(6, backend="thread", workers=3, **kwargs)
+        three = run_fleet(6, backend="process", workers=2, **kwargs)
+        assert one.to_json() == two.to_json() == three.to_json()
+        # The layout knobs are stamped into the payload.
+        payload = json.loads(one.to_json())
+        assert payload["fleet"]["aggregate"] == "stream"
+        assert payload["fleet"]["chunk"] == 2
+
+    def test_accumulator_merge_equals_single_fold(self):
+        from repro.metrics.fleet import (FleetAccumulator,
+                                         accumulate_rows,
+                                         merge_accumulators)
+
+        rows = run_fleet(6, seed=9, scenario="cooling").rows
+        whole = accumulate_rows(rows)
+        parts = merge_accumulators(
+            [accumulate_rows(rows[:2]), accumulate_rows(rows[2:5]),
+             accumulate_rows(rows[5:]), None])
+        split_agg, whole_agg = parts.aggregate(), whole.aggregate()
+        # Histogram counts merge exactly; float sums differ only by
+        # addition-order ulps.
+        for agg in (split_agg, whole_agg):
+            agg["latency"]["mean"] = round(agg["latency"]["mean"], 9)
+            agg["makespan_mean"] = round(agg["makespan_mean"], 9)
+            agg["temporary_incongruence_mean"] = round(
+                agg["temporary_incongruence_mean"], 9)
+        assert split_agg == whole_agg
+        empty = FleetAccumulator()
+        agg = empty.aggregate()
+        assert agg["homes"] == 0 and agg["latency"]["n"] == 0
+        assert agg["final_incongruence"] is None
+
+
+class TestHomeFactoryResetEquivalence:
+    """reset() + reuse must be byte-equivalent to a fresh SafeHome."""
+
+    @pytest.mark.parametrize("model", ["wv", "gsv", "psv", "ev", "occ"])
+    def test_reset_vs_fresh_rows_identical_per_model(self, model):
+        from repro.fleet import HomeFactory, HomeSpec, WorkerContext
+
+        context = WorkerContext(model=model)
+        factory = HomeFactory(context)
+        # Warm the factory on two different homes first so the third
+        # row comes from a twice-reset, reused stack.
+        for home_id in (0, 1):
+            factory.run_task((home_id, "cooling", home_seed(5, home_id)))
+        reused_row = factory.run_task((2, "morning", home_seed(5, 2)))
+
+        fresh_row = run_home(HomeSpec(
+            home_id=2, scenario="morning", seed=home_seed(5, 2),
+            model=model))
+        assert reused_row == fresh_row
+
+    def test_reset_vs_fresh_with_durability_and_crashes(self):
+        from repro.fleet import HomeFactory, HomeSpec, WorkerContext
+
+        context = WorkerContext(model="ev", crashes=2)
+        factory = HomeFactory(context)
+        factory.run_task((0, "cooling", home_seed(2, 0)))
+        reused_row = factory.run_task((1, "morning", home_seed(2, 1)))
+        fresh_row = run_home(HomeSpec(
+            home_id=1, scenario="morning", seed=home_seed(2, 1),
+            model="ev", crashes=2))
+        assert reused_row == fresh_row
+        assert reused_row["hub_crashes"] >= 1
+
+    def test_reset_restores_constructor_semantics(self):
+        home = SafeHome(visibility="ev", seed=1)
+        home.add_device("light", "lamp")
+        home.register_routine_spec({
+            "routineName": "on",
+            "commands": [{"device": "lamp", "action": "ON",
+                          "durationSec": 1}]})
+        home.invoke("on")
+        home.run()
+        home.reset(seed=2)
+        assert home.sim.now == 0.0
+        assert home.sim.events_processed == 0
+        assert len(home.registry) == 0
+        assert home.streams.seed == 2
+        assert home.controller.runs == []
+        assert home.durability is None and not home.crashed
+
+    def test_stream_requires_a_pool_backend(self):
+        from repro.fleet import register_backend
+
+        register_backend("legacy-test", lambda shards, workers: [])
+        try:
+            with pytest.raises(ValueError, match="pool backend"):
+                FleetEngine(FleetConfig(homes=2, backend="legacy-test",
+                                        aggregate="stream"))
+        finally:
+            from repro.fleet.engine import BACKENDS
+            BACKENDS.pop("legacy-test", None)
