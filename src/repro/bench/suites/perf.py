@@ -173,6 +173,47 @@ def scheduler_insertion(routine_sizes) -> Dict[str, Any]:
     }
 
 
+@benchmark("synth_throughput", suite="smoke", seed=11, specs=6,
+           routines=24)
+def synth_throughput(seed: int, specs: int, routines: int
+                     ) -> Dict[str, Any]:
+    """Scenario-synthesis engine throughput: generate + run N specs.
+
+    Measures the ``repro hunt`` hot path — compile a :class:`SynthSpec`
+    into a workload, run it under EV, score the congruence pressure —
+    over a seeded batch of random specs (events/sec across the batch).
+    """
+    import dataclasses
+
+    from repro.metrics.congruence import temporary_incongruence_events
+    from repro.sim.random import RandomStreams, derive_seed
+    from repro.workloads.synth import compile_spec, random_spec
+
+    rng = RandomStreams(seed=seed).stream("bench-synth")
+    events = 0
+    scores = []
+    generated_routines = 0
+    for index in range(specs):
+        spec = dataclasses.replace(
+            random_spec(rng, seed=derive_seed(seed, f"bench:{index}")),
+            routines=routines, failed_device_pct=0.0)
+        workload = compile_spec(spec)
+        generated_routines += workload.routine_count
+        setup = ExperimentSetup(model="ev", seed=spec.seed,
+                                check_final=False)
+        result, _report, controller = run_workload(workload, setup)
+        events += controller.sim.events_processed
+        scores.append(temporary_incongruence_events(result))
+    return {
+        "events": events,
+        "metrics": {
+            "specs": specs,
+            "routines": generated_routines,
+            "incongruence_scores": scores,
+        },
+    }
+
+
 @benchmark("recovery_replay", suite="smoke", repeats_workload=2,
            checkpoint_every=32)
 def recovery_replay(repeats_workload: int,

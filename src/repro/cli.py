@@ -19,6 +19,11 @@ Commands:
 * ``bench`` — run registered benchmark suites through the unified
   harness, write the merged ``BENCH_summary.json`` and optionally gate
   events/sec against a checked-in baseline (see docs/benchmarks.md).
+* ``hunt`` — adversarial search over generated scenarios
+  (:mod:`repro.workloads.synth`): seeded random + hill-climbing
+  mutation maximizing incongruence/abort/lock-wait pressure per
+  visibility model, oracle-checked, emitting a deterministic JSON
+  corpus of worst-found scenarios (see docs/scenario-synthesis.md).
 """
 
 import argparse
@@ -192,7 +197,8 @@ def cmd_crash_recovery(args: argparse.Namespace) -> int:
             model=args.model, execution=args.execution or "serial",
             seed=args.seed, crashes=args.crashes, recovery=args.recovery,
             checkpoint_every=args.checkpoint_every,
-            crash_at=args.crash_at, crash_event=args.crash_event)
+            crash_at=args.crash_at, crash_event=args.crash_event,
+            scenario=args.scenario or None)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -281,6 +287,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_hunt(args: argparse.Namespace) -> int:
+    from repro.workloads.synth import (HUNT_MODELS, OBJECTIVES,
+                                       corpus_to_json, hunt_corpus)
+
+    models = tuple(args.model.split(",")) if args.model != "all" \
+        else HUNT_MODELS
+    unknown = [m for m in models if m not in HUNT_MODELS]
+    if unknown:
+        print(f"unknown models {unknown}; pick from {list(HUNT_MODELS)} "
+              "or 'all'", file=sys.stderr)
+        return 2
+    if args.objective not in OBJECTIVES:
+        print(f"unknown objective {args.objective!r}; "
+              f"pick from {sorted(OBJECTIVES)}", file=sys.stderr)
+        return 2
+    corpus = hunt_corpus(models, objective=args.objective,
+                         seed=args.seed, budget=args.budget,
+                         execution=args.execution or "serial")
+    print_table(
+        f"hunt: objective={args.objective} seed={args.seed} "
+        f"budget={args.budget}",
+        [{"model": model,
+          "score": entry["best"]["score"],
+          "found_at": entry["best"]["found_at"],
+          "routines": entry["best"]["spec"]["routines"],
+          "devices": entry["best"]["spec"]["devices"],
+          "violations": entry["oracle_violations"]}
+         for model, entry in corpus["models"].items()])
+    for model, entry in corpus["models"].items():
+        print(f"{model}: {entry['best']['scenario']}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(corpus_to_json(corpus) + "\n")
+    if corpus["oracle_violations"]:
+        print(f"FAIL: {corpus['oracle_violations']} congruence-oracle "
+              "violations — a visibility model broke an invariant",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
@@ -361,10 +408,38 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--checkpoint-every", type=int, default=32,
                        help="observation records per checkpoint "
                             "(default: 32)")
+    crash.add_argument("--scenario", default="",
+                       help="run a generated 'synth:...' scenario "
+                            "(e.g. from a hunt corpus) instead of the "
+                            "evening scene")
     crash.add_argument("--json", default="",
                        help="write the deterministic chaos summary "
                             "JSON to this path")
     crash.set_defaults(func=cmd_crash_recovery)
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="adversarial search for each model's worst generated "
+             "scenarios (oracle-checked)")
+    hunt.add_argument("--model", default="all",
+                      help="comma-separated visibility models, or 'all' "
+                           "(default: all)")
+    hunt.add_argument("--objective", default="incongruence",
+                      choices=("incongruence", "aborts", "lock_wait"),
+                      help="pressure metric the search maximizes "
+                           "(default: incongruence)")
+    hunt.add_argument("--seed", type=int, default=0,
+                      help="search seed; same seed + budget => "
+                           "byte-identical corpus (default: 0)")
+    hunt.add_argument("--budget", type=int, default=50,
+                      help="evaluations per model (default: 50)")
+    hunt.add_argument("--execution", default=None,
+                      choices=("serial", "parallel"),
+                      help="command-plan strategy (default: serial)")
+    hunt.add_argument("--json", default="",
+                      help="write the worst-found corpus JSON to this "
+                           "path")
+    hunt.set_defaults(func=cmd_hunt)
 
     bench = sub.add_parser(
         "bench", help="run benchmark suites through the unified harness")

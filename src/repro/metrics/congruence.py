@@ -64,6 +64,41 @@ def temporary_incongruence(result: RunResult) -> float:
     return suffered / len(result.runs)
 
 
+def temporary_incongruence_events(result: RunResult) -> int:
+    """Total count of temporary-incongruence events across the run.
+
+    One event per (routine write, conflicting foreign write) pair:
+    routine R applied a write to a device and another routine overwrote
+    it before R finished.  Where :func:`temporary_incongruence` reports
+    the *fraction of routines* affected (§7.1's metric), this counts
+    every individual violation — the objective the adversarial hunt
+    (``repro hunt``) maximizes, since a scenario interleaving ten
+    conflicting writes under one routine is "worse" than one that
+    interleaves a single write even though both score the same
+    fraction.
+    """
+    writes: Dict[int, List] = {
+        device_id: [(t, _writer_id(src)) for (t, _v, src) in log
+                    if _writer_id(src) is not None]
+        for device_id, log in result.device_write_logs.items()
+    }
+    events = 0
+    for run in result.runs:
+        if run.start_time is None:
+            continue
+        finish = run.finish_time if run.finish_time is not None \
+            else float("inf")
+        for execution in run.executions:
+            if not (execution.applied and execution.command.is_write):
+                continue
+            device_id = execution.command.device_id
+            my_time = execution.started_at
+            events += sum(
+                1 for (t, writer) in writes.get(device_id, ())
+                if writer != run.routine_id and my_time < t < finish)
+    return events
+
+
 def effective_writes(runs: Iterable[RoutineRun]) -> Dict[int, Dict[int, Any]]:
     """routine_id → {device → last applied value} for committed runs."""
     out: Dict[int, Dict[int, Any]] = {}

@@ -110,8 +110,29 @@ class ChaosResult:
         return json.dumps(self.summary(), indent=indent, sort_keys=True)
 
 
+def _chaos_workload_for(scenario: Optional[str], seed: int) -> Workload:
+    """The workload one chaos run executes.
+
+    ``None`` (the default) is the hand-written evening scene; a
+    ``synth:...`` name — e.g. a worst-found entry from a ``repro hunt``
+    corpus — compiles its :class:`~repro.workloads.synth.SynthSpec` so
+    crash/recovery is exercised on adversarial inputs too.
+    """
+    if scenario is None:
+        return chaos_workload(seed)
+    from repro.workloads.synth import (SynthSpec, compile_spec,
+                                       is_synth_scenario)
+
+    if not is_synth_scenario(scenario):
+        raise ValueError(
+            f"chaos scenario must be None or a 'synth:...' name, "
+            f"got {scenario!r}")
+    return compile_spec(SynthSpec.decode(scenario), seed=seed)
+
+
 def _build_home(model: str, execution: str, seed: int,
-                checkpoint_every: int):
+                checkpoint_every: int,
+                scenario: Optional[str] = None):
     # Imported lazily: the hub package sits above workloads in the
     # dependency graph (SafeHome itself imports workloads.base).
     from repro.hub.durability import DurabilityConfig
@@ -120,7 +141,7 @@ def _build_home(model: str, execution: str, seed: int,
     home = SafeHome(
         visibility=model, execution=execution, seed=seed,
         durability=DurabilityConfig(checkpoint_every=checkpoint_every))
-    home.load_workload(chaos_workload(seed))
+    home.load_workload(_chaos_workload_for(scenario, seed))
     return home
 
 
@@ -139,19 +160,24 @@ def run_chaos(model: str = "ev", execution: str = "serial",
               recovery: str = "replay",
               checkpoint_every: int = 32,
               crash_at: Optional[float] = None,
-              crash_event: Optional[int] = None) -> ChaosResult:
+              crash_event: Optional[int] = None,
+              scenario: Optional[str] = None) -> ChaosResult:
     """Crash the hub at seeded points, recover, compare to baseline.
 
     ``crash_at`` / ``crash_event`` pin a single explicit crash point;
     otherwise ``crashes`` points are drawn (seeded) from the
-    uninterrupted run's event range.
+    uninterrupted run's event range.  ``scenario`` swaps the evening
+    scene for a generated ``synth:...`` workload (hunt-corpus
+    feedback); the default path is untouched.
     """
-    baseline = _build_home(model, execution, seed, checkpoint_every)
+    baseline = _build_home(model, execution, seed, checkpoint_every,
+                           scenario=scenario)
     baseline.run()
     baseline_row = _report_row(baseline, model)
     total_events = baseline.sim.events_processed
 
-    home = _build_home(model, execution, seed, checkpoint_every)
+    home = _build_home(model, execution, seed, checkpoint_every,
+                       scenario=scenario)
     if crash_at is not None or crash_event is not None:
         points = [{"at": crash_at, "after_events": crash_event}]
     else:

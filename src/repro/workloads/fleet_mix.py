@@ -23,6 +23,7 @@ from repro.workloads.base import Workload
 from repro.workloads.fanout import fanout_scenario
 from repro.workloads.scenarios import (_routine, factory_scenario,
                                        morning_scenario, party_scenario)
+from repro.workloads.synth import SynthSpec, compile_spec, is_synth_scenario
 
 #: The default per-home profile cycle for ``scenario="mix"`` fleets.
 DEFAULT_MIX: Tuple[str, ...] = ("morning", "factory-line", "cooling")
@@ -116,24 +117,42 @@ def scenario_for_home(home_id: int, scenario: str = "mix",
 
     ``scenario="mix"`` cycles deterministically through ``mix`` by home
     index (position in the fleet, independent of sharding); any other
-    value names one :data:`FLEET_SCENARIOS` entry for every home.
+    value names one :data:`FLEET_SCENARIOS` entry — or a generated
+    scenario encoded as a ``synth:...`` name
+    (:meth:`~repro.workloads.synth.SynthSpec.encode`, e.g. from a
+    ``repro hunt`` corpus) — for every home.
     """
     if scenario != "mix":
-        if scenario not in FLEET_SCENARIOS:
-            raise ValueError(
-                f"unknown fleet scenario {scenario!r}; "
-                f"pick from {sorted(FLEET_SCENARIOS)} or 'mix'")
+        _validate_scenario_name(scenario)
         return scenario
     if not mix:
         raise ValueError("empty fleet mix")
     for name in mix:
-        if name not in FLEET_SCENARIOS:
-            raise ValueError(f"unknown scenario {name!r} in fleet mix")
+        _validate_scenario_name(name, context=" in fleet mix")
     return mix[home_id % len(mix)]
 
 
+def _validate_scenario_name(name: str, context: str = "") -> None:
+    if is_synth_scenario(name):
+        SynthSpec.decode(name)      # raises ValueError on a bad spec
+        return
+    if name not in FLEET_SCENARIOS:
+        raise ValueError(
+            f"unknown fleet scenario {name!r}{context}; "
+            f"pick from {sorted(FLEET_SCENARIOS)}, 'mix', or a "
+            f"'synth:...' generated-scenario name")
+
+
 def build_fleet_workload(scenario: str, seed: int) -> Workload:
-    """Instantiate one home's workload from its registry name."""
+    """Instantiate one home's workload from its registry name.
+
+    ``synth:...`` names route to the generator: the encoded
+    :class:`~repro.workloads.synth.SynthSpec` is compiled with this
+    home's split seed, so one hunted spec fans out into N
+    distinct-but-reproducible hostile homes.
+    """
+    if is_synth_scenario(scenario):
+        return compile_spec(SynthSpec.decode(scenario), seed=seed)
     try:
         factory = FLEET_SCENARIOS[scenario]
     except KeyError:

@@ -1,0 +1,27 @@
+"""Seeded generative scenario engine + adversarial congruence search.
+
+* :mod:`spec` — :class:`SynthSpec`, the serializable recipe (knobs +
+  seed) every generated scenario replays from;
+* :mod:`generate` — :func:`compile_spec`, spec → runnable
+  :class:`~repro.workloads.base.Workload`;
+* :mod:`hunt` — ``repro hunt``'s seeded random + hill-climbing search
+  for each model's worst-case scenarios, oracle-checked.
+
+See docs/scenario-synthesis.md.
+"""
+
+from repro.workloads.synth.generate import compile_spec, estimated_horizon
+from repro.workloads.synth.hunt import (HUNT_MODELS, OBJECTIVES, hunt,
+                                        hunt_corpus, corpus_to_json,
+                                        random_spec, mutate_spec,
+                                        workload_initial_state)
+from repro.workloads.synth.spec import (SCENARIO_PREFIX, SynthSpec,
+                                        is_synth_scenario)
+
+__all__ = [
+    "SCENARIO_PREFIX", "SynthSpec", "is_synth_scenario",
+    "compile_spec", "estimated_horizon",
+    "HUNT_MODELS", "OBJECTIVES", "hunt", "hunt_corpus",
+    "corpus_to_json", "random_spec", "mutate_spec",
+    "workload_initial_state",
+]

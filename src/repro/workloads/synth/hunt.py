@@ -1,0 +1,224 @@
+"""Adversarial congruence search over :class:`SynthSpec` space.
+
+``repro hunt`` looks for the scenarios each visibility model handles
+*worst*: seeded random starting points plus hill-climbing mutations
+over the generator's knobs, maximizing one pressure objective —
+temporary-incongruence events, aborts, or lock-wait seconds.  Every
+evaluation also runs the congruence oracle
+(:mod:`repro.metrics.oracle`); the search may drive the *metrics* as
+high as it can, but an invariant violation on any evaluation is a real
+bug and fails the hunt.
+
+The whole search is a pure function of (model, objective, seed,
+budget, execution): random starts and mutations draw from named seeded
+streams, scores are virtual-time quantities, and the emitted corpus
+JSON contains no wall-clock — so two hunts with the same arguments
+produce byte-identical corpora, and any corpus entry's ``scenario``
+name replays through the fleet registry
+(``repro fleet --scenario 'synth:...'``) or the chaos workload
+(``repro crash-recovery --scenario 'synth:...'``).
+"""
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.catalog import DEVICE_CATALOG
+from repro.metrics.congruence import temporary_incongruence_events
+from repro.metrics.oracle import OracleReport, check_run
+from repro.sim.random import RandomStreams, derive_seed
+from repro.workloads.base import Workload
+from repro.workloads.synth.generate import compile_spec
+from repro.workloads.synth.spec import SynthSpec
+
+#: Models the hunt searches by default (the paper's spectrum + OCC).
+HUNT_MODELS: Tuple[str, ...] = ("wv", "gsv", "psv", "ev", "occ")
+
+#: Objective name → scoring function over a finished RunResult.
+OBJECTIVES = {
+    "incongruence": lambda result: temporary_incongruence_events(result),
+    "aborts": lambda result: len(result.aborted),
+    "lock_wait": lambda result: round(
+        sum(run.lock_wait_s for run in result.runs), 6),
+}
+
+#: Searchable knob ranges: name → (low, high, is_int).  Bounds keep a
+#: single evaluation cheap (tens of routines) while still reaching the
+#: hostile corners — near-total contention, open-loop arrival storms,
+#: long-command pileups, seeded fail-stops.
+KNOB_RANGES: Dict[str, Tuple[float, float, bool]] = {
+    "devices": (3, 12, True),
+    "routines": (6, 48, True),
+    "fanout_mean": (1.5, 4.5, False),
+    "fanout_max": (2, 8, True),
+    "contention_alpha": (0.0, 2.5, False),
+    "short_duration_s": (1.0, 20.0, False),
+    "long_duration_s": (60.0, 300.0, False),
+    "long_pct": (0.0, 60.0, False),
+    "trigger_open_pct": (40.0, 100.0, False),
+    "streams": (1, 4, True),
+    "arrival_window_s": (5.0, 60.0, False),
+    "must_pct": (50.0, 100.0, False),
+    "failed_device_pct": (0.0, 25.0, False),
+}
+
+#: Consecutive non-improving mutations before a random restart.
+RESTART_AFTER = 8
+
+
+def workload_initial_state(workload: Workload) -> Dict[int, Any]:
+    """The registry snapshot a fresh run of ``workload`` starts from."""
+    return {device_id: DEVICE_CATALOG[type_name].initial_state
+            for device_id, (type_name, _name)
+            in enumerate(workload.devices)}
+
+
+def random_spec(rng, seed: int) -> SynthSpec:
+    """One random point in knob space (every knob drawn uniformly)."""
+    values: Dict[str, Any] = {"seed": seed}
+    for name, (low, high, is_int) in KNOB_RANGES.items():
+        if is_int:
+            values[name] = rng.randint(int(low), int(high))
+        else:
+            values[name] = round(rng.uniform(low, high), 3)
+    values["fanout_max"] = max(values["fanout_max"],
+                               int(round(values["fanout_mean"])))
+    return SynthSpec(**values)
+
+
+def mutate_spec(spec: SynthSpec, rng) -> SynthSpec:
+    """Tweak one knob (or reseed) — the hill-climbing step."""
+    knob = rng.choice(sorted(KNOB_RANGES) + ["seed", "seed"])
+    if knob == "seed":
+        return dataclasses.replace(spec, seed=rng.randrange(2 ** 31))
+    low, high, is_int = KNOB_RANGES[knob]
+    current = float(getattr(spec, knob))
+    step = (high - low) * rng.choice((-0.25, -0.1, 0.1, 0.25))
+    value = min(max(current + step, low), high)
+    new = {knob: int(round(value)) if is_int else round(value, 3)}
+    if knob in ("fanout_mean", "fanout_max"):
+        # Keep the clamp fanout_mean <= fanout_max meaningful.
+        mean = new.get("fanout_mean", spec.fanout_mean)
+        new["fanout_max"] = max(new.get("fanout_max", spec.fanout_max),
+                                int(round(mean)))
+    return dataclasses.replace(spec, **new)
+
+
+@dataclass
+class Evaluation:
+    """One scored point: spec, objective score, oracle verdict."""
+
+    spec: SynthSpec
+    score: float
+    oracle: OracleReport
+    row: Dict[str, Any]
+    index: int
+
+
+def evaluate_spec(spec: SynthSpec, model: str, objective: str,
+                  execution: str = "serial",
+                  index: int = 0) -> Evaluation:
+    """Compile, run, score and oracle-check one spec (deterministic)."""
+    # Imported lazily: experiments sits above workloads in the
+    # dependency graph (the same layering chaos.py uses for the hub).
+    from repro.experiments.runner import ExperimentSetup, run_workload
+
+    score_fn = OBJECTIVES[objective]
+    workload = compile_spec(spec)
+    setup = ExperimentSetup(model=model, execution=execution,
+                            seed=spec.seed, check_final=False)
+    result, report, _controller = run_workload(workload, setup)
+    oracle = check_run(result, workload_initial_state(workload),
+                       model=model)
+    return Evaluation(spec=spec, score=score_fn(result), oracle=oracle,
+                      row=report.row(), index=index)
+
+
+def hunt(model: str, objective: str = "incongruence", seed: int = 0,
+         budget: int = 50, execution: str = "serial") -> Dict[str, Any]:
+    """Search ``budget`` evaluations for the worst spec under ``model``.
+
+    Returns one deterministic corpus entry: the best (worst-behaved)
+    spec with its score, metrics row and oracle verdict, the
+    improvement trace, and the violation tally across *all*
+    evaluations (which must be zero unless a model is genuinely
+    broken).
+    """
+    if objective not in OBJECTIVES:
+        raise ValueError(f"unknown objective {objective!r}; "
+                         f"pick from {sorted(OBJECTIVES)}")
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    streams = RandomStreams(
+        seed=derive_seed(seed, f"hunt:{model}:{objective}"))
+    rng = streams.stream("search")
+    best: Optional[Evaluation] = None
+    improvements: List[Dict[str, Any]] = []
+    violations: List[Dict[str, Any]] = []
+    violation_count = 0
+    stall = 0
+    for step in range(budget):
+        if best is None or stall >= RESTART_AFTER:
+            candidate = random_spec(
+                rng, seed=derive_seed(seed, f"{model}:{step}"))
+            stall = 0
+        else:
+            candidate = mutate_spec(best.spec, rng)
+        evaluation = evaluate_spec(candidate, model, objective,
+                                   execution=execution, index=step)
+        if not evaluation.oracle.ok:
+            violation_count += len(evaluation.oracle.violations)
+            if len(violations) < 5:     # keep the corpus bounded
+                violations.append({
+                    "step": step, "spec": candidate.to_dict(),
+                    "oracle": evaluation.oracle.to_dict()})
+        if best is None or evaluation.score > best.score:
+            best = evaluation
+            stall = 0
+            improvements.append({"step": step,
+                                 "score": evaluation.score})
+        else:
+            stall += 1
+    return {
+        "model": model,
+        "objective": objective,
+        "seed": seed,
+        "budget": budget,
+        "execution": execution,
+        "best": {
+            "spec": best.spec.to_dict(),
+            "scenario": best.spec.encode(),
+            "score": best.score,
+            "found_at": best.index,
+            "metrics": best.row,
+            "oracle": best.oracle.to_dict(),
+        },
+        "improvements": improvements,
+        "oracle_violations": violation_count,
+        "violations": violations,
+    }
+
+
+def hunt_corpus(models: Sequence[str] = HUNT_MODELS,
+                objective: str = "incongruence", seed: int = 0,
+                budget: int = 50,
+                execution: str = "serial") -> Dict[str, Any]:
+    """Run one hunt per model and bundle the deterministic corpus."""
+    entries = {model: hunt(model, objective=objective, seed=seed,
+                           budget=budget, execution=execution)
+               for model in models}
+    return {
+        "objective": objective,
+        "seed": seed,
+        "budget": budget,
+        "execution": execution,
+        "models": entries,
+        "oracle_violations": sum(entry["oracle_violations"]
+                                 for entry in entries.values()),
+    }
+
+
+def corpus_to_json(corpus: Dict[str, Any]) -> str:
+    """Byte-stable corpus serialization (the determinism contract)."""
+    return json.dumps(corpus, indent=2, sort_keys=True)

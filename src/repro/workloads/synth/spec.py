@@ -1,0 +1,184 @@
+"""`SynthSpec`: the serializable recipe for one generated scenario.
+
+A spec is a point in the generator's knob space — contention, fan-out,
+duration mix, trigger mix, failure rate — plus the seed that pins every
+random draw.  Spec + seed fully determine the generated
+:class:`~repro.workloads.base.Workload`, so any synthesized scenario is
+replayable from its serialized form alone.
+
+Two serializations exist:
+
+* :meth:`SynthSpec.to_json` / :meth:`from_json` — the full-dict form
+  used by hunt corpora and trace files;
+* :meth:`SynthSpec.encode` / :meth:`decode` — a compact
+  ``synth:key=value;...`` scenario *name* (comma-free, so it survives
+  the fleet CLI's comma-separated ``--mix`` lists) understood by the
+  fleet registry (:func:`repro.workloads.fleet_mix.build_fleet_workload`).
+
+Both round-trip exactly: only non-default fields are encoded, floats
+via ``repr`` (shortest round-trippable form).
+"""
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: Scenario-name prefix routing a fleet home to the generator.
+SCENARIO_PREFIX = "synth:"
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """Tunable distributions for one generated scenario (all seeded).
+
+    The defaults describe a mid-size contended home: 8 devices, 12
+    routines of ~3 commands arriving open-loop within a minute.
+    """
+
+    seed: int = 0
+    #: Home size and the catalog types devices are drawn from
+    #: (empty tuple = the whole :data:`~repro.devices.catalog.DEVICE_CATALOG`).
+    devices: int = 8
+    device_pool: Tuple[str, ...] = ()
+    #: Routine-set size and fan-out (commands per routine, normal mean,
+    #: clamped to [1, fanout_max]).
+    routines: int = 12
+    fanout_mean: float = 3.0
+    fanout_max: int = 6
+    #: Contention: Zipf exponent over device popularity.  0 = uniform
+    #: (low contention); 2+ concentrates almost every routine on the
+    #: same couple of devices.
+    contention_alpha: float = 0.9
+    #: Duration mix: short-command mean, long-command mean, and the
+    #: percentage of routines carrying one long command.
+    short_duration_s: float = 5.0
+    long_duration_s: float = 120.0
+    long_pct: float = 10.0
+    #: Trigger mix: percentage of routines arriving open-loop at seeded
+    #: times within ``arrival_window_s``; the rest are split round-robin
+    #: over ``streams`` closed-loop streams (the paper's ρ).
+    trigger_open_pct: float = 100.0
+    streams: int = 2
+    arrival_window_s: float = 60.0
+    #: Must-command percentage (rest are best-effort).
+    must_pct: float = 90.0
+    #: Failure injection: percentage of devices fail-stopping mid-run,
+    #: optionally restarting ``restart_after_s`` later.
+    failed_device_pct: float = 0.0
+    restart_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
+        if self.routines < 1:
+            raise ValueError("routines must be >= 1")
+        if self.fanout_max < 1:
+            raise ValueError("fanout_max must be >= 1")
+        if self.fanout_mean <= 0:
+            raise ValueError("fanout_mean must be positive")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+        if self.contention_alpha < 0:
+            raise ValueError("contention_alpha must be >= 0")
+        for field_name in ("short_duration_s", "long_duration_s",
+                           "arrival_window_s"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+        for field_name in ("long_pct", "trigger_open_pct", "must_pct",
+                           "failed_device_pct"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 100.0:
+                raise ValueError(f"{field_name} must be in [0, 100]")
+        if self.restart_after_s is not None and self.restart_after_s < 0:
+            raise ValueError("restart_after_s must be >= 0")
+        if self.device_pool:
+            from repro.devices.catalog import DEVICE_CATALOG
+            unknown = sorted(set(self.device_pool) - set(DEVICE_CATALOG))
+            if unknown:
+                raise ValueError(
+                    f"unknown device types in device_pool: {unknown}")
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full field dict (JSON-ready; ``device_pool`` as a list)."""
+        payload = dataclasses.asdict(self)
+        payload["device_pool"] = list(self.device_pool)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SynthSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown SynthSpec fields: {unknown}")
+        payload = dict(payload)
+        if "device_pool" in payload:
+            payload["device_pool"] = tuple(payload["device_pool"])
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SynthSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- compact scenario-name form --------------------------------------------
+
+    def encode(self) -> str:
+        """The ``synth:...`` scenario name (non-default fields only).
+
+        Comma-free by construction — fields join with ``;``, the device
+        pool with ``+`` — so encoded specs pass through the fleet CLI's
+        comma-separated ``--mix`` unscathed.
+        """
+        parts = []
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value == field.default:
+                continue
+            if field.name == "device_pool":
+                encoded = "+".join(value)
+            elif isinstance(value, float):
+                encoded = repr(value)
+            else:
+                encoded = str(value)
+            parts.append(f"{field.name}={encoded}")
+        return SCENARIO_PREFIX + ";".join(parts)
+
+    @classmethod
+    def decode(cls, name: str) -> "SynthSpec":
+        """Parse a scenario name produced by :meth:`encode`."""
+        if not name.startswith(SCENARIO_PREFIX):
+            raise ValueError(f"not a synth scenario name: {name!r}")
+        body = name[len(SCENARIO_PREFIX):]
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        payload: Dict[str, Any] = {}
+        for part in filter(None, body.split(";")):
+            key, _sep, raw = part.partition("=")
+            if not _sep or key not in fields:
+                raise ValueError(
+                    f"bad synth scenario field {part!r} in {name!r}")
+            payload[key] = _parse_field(key, raw)
+        return cls(**payload)
+
+
+_INT_FIELDS = frozenset(
+    ("seed", "devices", "routines", "fanout_max", "streams"))
+
+
+def _parse_field(key: str, raw: str) -> Any:
+    if key == "device_pool":
+        return tuple(filter(None, raw.split("+")))
+    if key == "restart_after_s":
+        return None if raw == "None" else float(raw)
+    if key in _INT_FIELDS:
+        return int(raw)
+    return float(raw)
+
+
+def is_synth_scenario(name: str) -> bool:
+    """Is ``name`` a generated-scenario name (``synth:`` prefixed)?"""
+    return name.startswith(SCENARIO_PREFIX)

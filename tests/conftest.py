@@ -1,6 +1,9 @@
 """Shared fixtures and builders for the SafeHome test suite."""
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.command import Command
 from repro.core.controller import ControllerConfig
@@ -11,6 +14,20 @@ from repro.devices.network import LatencyModel
 from repro.devices.registry import DeviceRegistry
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
+
+# Shared hypothesis profile: deterministic (derandomized, so CI never
+# flakes on a fresh failure), no deadline (simulated runs legitimately
+# take hundreds of ms), example budget tunable per environment —
+# REPRO_HYPOTHESIS_EXAMPLES=100 locally for a deeper sweep, the CI
+# workflow pins a small budget to keep the matrix fast.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "20")),
+    print_blob=True,
+)
+settings.load_profile("repro")
 
 
 class Home:

@@ -1,0 +1,147 @@
+"""Merge edge cases for the streaming fleet-aggregation primitives:
+:class:`FixedResolutionHistogram` and :class:`FleetAccumulator`."""
+
+import pytest
+
+from repro.metrics.fleet import FleetAccumulator, merge_accumulators
+from repro.metrics.stats import FixedResolutionHistogram
+
+
+def _row(routines=2, committed=2, aborted=0, latencies=(0.5, 1.5),
+         makespan=3.0, temporary_incongruence=0.0,
+         final_congruent=None):
+    return {
+        "routines": routines, "committed": committed,
+        "aborted": aborted, "latencies": list(latencies),
+        "makespan": makespan,
+        "temporary_incongruence": temporary_incongruence,
+        "final_congruent": final_congruent,
+    }
+
+
+class TestHistogramMerge:
+    def test_merge_empty_into_empty(self):
+        left, right = (FixedResolutionHistogram(0.1),
+                       FixedResolutionHistogram(0.1))
+        left.merge(right)
+        assert left.count == 0
+        assert left.bins == {}
+        assert left.quantile(50) == 0.0     # empty → 0.0, not a crash
+
+    def test_merge_empty_is_identity(self):
+        left = FixedResolutionHistogram(0.1)
+        left.extend([0.05, 0.15, 0.95])
+        before = (dict(left.bins), left.count)
+        left.merge(FixedResolutionHistogram(0.1))
+        assert (left.bins, left.count) == before
+
+    def test_merge_single_bin_partials(self):
+        left, right = (FixedResolutionHistogram(1.0),
+                       FixedResolutionHistogram(1.0))
+        left.add(0.2)
+        right.add(0.7)          # same bin 0 in both partials
+        left.merge(right)
+        assert left.bins == {0: 2}
+        assert left.count == 2
+        for q in (0, 50, 100):
+            assert left.quantile(q) == 0.0      # lower bin edge
+
+    def test_merge_saturating_tail_bin(self):
+        """A heavy tail bin absorbs counts from both sides exactly."""
+        left, right = (FixedResolutionHistogram(1.0),
+                       FixedResolutionHistogram(1.0))
+        left.extend([0.1] * 10 + [99.5] * 90)
+        right.extend([99.9] * 100)
+        left.merge(right)
+        assert left.bins == {0: 10, 99: 190}
+        assert left.count == 200
+        assert left.quantile(50) == 99.0
+        assert left.quantile(100) == 99.0
+
+    def test_nearest_rank_tie_is_lower_bin_edge(self):
+        """Nearest-rank on an even count picks the lower sample's bin
+        (rank floor), and the answer is the bin's lower edge."""
+        histogram = FixedResolutionHistogram(1.0)
+        histogram.extend([1.5, 2.5])        # bins 1 and 2, count 2
+        # rank = int((2-1) * 50/100) = 0 → first sample's bin edge;
+        # the rank floors, so anything short of 100 stays there too.
+        assert histogram.quantile(50) == 1.0
+        assert histogram.quantile(99) == 1.0
+        assert histogram.quantile(100) == 2.0
+        histogram.add(2.6)                  # tie: bin 2 now holds 2
+        assert histogram.quantile(50) == 2.0
+
+    def test_merge_order_is_irrelevant(self):
+        partials = []
+        for values in ([0.1, 0.9], [2.5], [], [0.4, 7.7, 7.9]):
+            histogram = FixedResolutionHistogram(0.5)
+            histogram.extend(values)
+            partials.append(histogram)
+        forward = FixedResolutionHistogram(0.5)
+        backward = FixedResolutionHistogram(0.5)
+        for histogram in partials:
+            forward.merge(histogram)
+        for histogram in reversed(partials):
+            backward.merge(histogram)
+        assert forward.bins == backward.bins
+        assert forward.count == backward.count
+
+    def test_merge_resolution_mismatch_raises(self):
+        with pytest.raises(ValueError, match="resolution"):
+            FixedResolutionHistogram(0.1).merge(
+                FixedResolutionHistogram(0.2))
+
+    def test_bad_construction_and_quantile_args(self):
+        with pytest.raises(ValueError):
+            FixedResolutionHistogram(0.0)
+        with pytest.raises(ValueError):
+            FixedResolutionHistogram(1.0).quantile(101)
+
+
+class TestFleetAccumulatorMerge:
+    def test_merge_zero_count_partial_is_identity(self):
+        """An empty partial (a worker that got no homes) must not
+        disturb min/max-style fields — lat_max and makespan_max start
+        at 0.0 and merging a zero-count partial keeps the real peaks."""
+        acc = FleetAccumulator()
+        acc.add_row(_row(latencies=(0.25, 4.0), makespan=7.5))
+        before = acc.aggregate()
+        acc.merge(FleetAccumulator())
+        after = acc.aggregate()
+        assert after == before
+        assert after["latency"]["max"] == 4.0
+        assert after["makespan_max"] == 7.5
+
+    def test_merge_into_zero_count_accumulator(self):
+        partial = FleetAccumulator()
+        partial.add_row(_row(aborted=1, committed=1,
+                             final_congruent=True))
+        merged = FleetAccumulator().merge(partial)
+        aggregate = merged.aggregate()
+        assert aggregate["homes"] == 1
+        assert aggregate["abort_rate"] == 0.5
+        assert aggregate["final_incongruence"] == 0.0
+
+    def test_zero_count_aggregate_has_neutral_identities(self):
+        aggregate = FleetAccumulator().aggregate()
+        assert aggregate["homes"] == 0
+        assert aggregate["abort_rate"] == 0.0
+        assert aggregate["latency"]["mean"] == 0.0
+        assert aggregate["latency"]["max"] == 0.0
+        assert aggregate["makespan_max"] == 0.0
+        assert aggregate["final_incongruence"] is None
+
+    def test_merge_accumulators_skips_missing_partials(self):
+        partial = FleetAccumulator()
+        partial.add_row(_row())
+        merged = merge_accumulators([None, partial, None])
+        assert merged.aggregate()["homes"] == 1
+
+    def test_row_without_latencies_keeps_peaks(self):
+        acc = FleetAccumulator()
+        acc.add_row(_row(latencies=(2.0,), makespan=9.0))
+        acc.add_row(_row(latencies=(), makespan=1.0))
+        aggregate = acc.aggregate()
+        assert aggregate["latency"]["max"] == 2.0
+        assert aggregate["latency"]["n"] == 1
+        assert aggregate["makespan_max"] == 9.0
