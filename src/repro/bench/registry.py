@@ -19,6 +19,10 @@ Suites
 
 * ``smoke`` — the fast, CI-gated subset (seconds, not minutes); every
   smoke benchmark is also part of ``full``.
+* ``scale`` — multi-core scaling measurements (``fleet_scale_mp``);
+  separate from ``smoke`` because the numbers are machine-dependent
+  and CI gates them with their own parallel-efficiency floor
+  (``scripts/gate_scaling.py``) rather than the throughput baseline.
 * ``full``  — everything, including the paper-figure sweeps.
 """
 
@@ -28,7 +32,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.errors import SafeHomeError
 
-SUITES = ("smoke", "full")
+SUITES = ("smoke", "scale", "full")
 
 
 class BenchError(SafeHomeError):

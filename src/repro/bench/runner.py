@@ -113,7 +113,7 @@ def run_suite(suite: str = "smoke", pattern: Optional[str] = None,
         # Surface the recorded optimization-pass before/after speedup
         # tables so BENCH_summary.json carries them alongside the fresh
         # numbers.
-        for table in ("hotpath_pass", "fleet_pass"):
+        for table in ("hotpath_pass", "fleet_pass", "scaling_mp"):
             if table in payload:
                 summary[table] = payload[table]
     return summary

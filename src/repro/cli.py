@@ -152,16 +152,27 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import FleetConfig, FleetEngine
     from repro.workloads.fleet_mix import DEFAULT_MIX
 
+    raw_workers = str(args.workers).strip().lower()
+    if raw_workers == "auto":
+        workers = 0              # 0 = one per CPU (capped at homes)
+    else:
+        try:
+            workers = int(raw_workers)
+        except ValueError:
+            print(f"--workers must be an integer or 'auto', got "
+                  f"{args.workers!r}", file=sys.stderr)
+            return 2
     config = FleetConfig(
         homes=args.homes, seed=args.seed, scenario=args.scenario,
         mix=tuple(args.mix.split(",")) if args.mix else DEFAULT_MIX,
         model=args.model, scheduler=args.scheduler,
         execution=args.execution,
-        backend=args.backend, workers=args.workers,
+        backend=args.backend, workers=workers,
         chunk=args.chunk,
         aggregate="exact" if args.exact else args.aggregate,
         check_final=not args.no_check_final,
-        crashes=args.crashes, recovery=args.recovery)
+        crashes=args.crashes, recovery=args.recovery,
+        transport=args.transport, pin=args.pin, wal_dir=args.wal_dir)
     try:
         result = FleetEngine(config).run()
     except ValueError as error:
@@ -270,7 +281,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             # Preserve the recorded optimization-pass tables and the
             # floors of benchmarks outside this (possibly filtered) run.
             old = load_baseline(args.update_baseline)
-            for table in ("hotpath_pass", "fleet_pass"):
+            for table in ("hotpath_pass", "fleet_pass", "scaling_mp"):
                 if table in old:
                     extra[table] = old[table]
         except (OSError, BenchError):
@@ -444,8 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run benchmark suites through the unified harness")
     bench.add_argument("--suite", default="smoke",
-                       choices=("smoke", "full"),
-                       help="benchmark suite (default: smoke)")
+                       choices=("smoke", "scale", "full"),
+                       help="benchmark suite (default: smoke); 'scale' "
+                            "holds the multi-core scaling measurements")
     bench.add_argument("--filter", default="",
                        help="glob/substring filter on benchmark names")
     bench.add_argument("--warmup", type=int, default=1,
@@ -489,8 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--backend", default="serial",
                        choices=("serial", "thread", "process"),
                        help="worker pool type (default: serial)")
-    fleet.add_argument("--workers", type=int, default=0,
-                       help="pool size; 0 = one per CPU (default: 0)")
+    fleet.add_argument("--workers", default="0",
+                       help="pool size; 0 or 'auto' = one per CPU "
+                            "(default: 0)")
     fleet.add_argument("--chunk", type=int, default=0,
                        help="homes per dispatch chunk; 0 = homes/workers "
                             "rounded up (amortizes IPC; smaller chunks "
@@ -504,6 +517,23 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--exact", action="store_true",
                        help="force exact pooled-percentile aggregation "
                             "(the default; overrides --aggregate)")
+    fleet.add_argument("--transport", default="pickle",
+                       choices=("pickle", "shm"),
+                       help="how streaming partials reach the parent: "
+                            "'pickle' through the pool result channel, "
+                            "'shm' struct-packed into preallocated "
+                            "shared-memory slabs (needs --aggregate "
+                            "stream)")
+    fleet.add_argument("--pin", default="none",
+                       choices=("none", "spread"),
+                       help="CPU affinity for process workers: 'spread' "
+                            "pins one worker per CPU round-robin; no-op "
+                            "where unsupported (default: none)")
+    fleet.add_argument("--wal-dir", default="",
+                       help="spool per-home WALs to worker-local segment "
+                            "files in this directory and merge them into "
+                            "an indexed fleet-wal.jsonl (forces durable "
+                            "homes)")
     fleet.add_argument("--crashes", type=int, default=0,
                        help="hub crashes per home at seeded times "
                             "(default: 0 = no chaos)")

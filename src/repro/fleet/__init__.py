@@ -23,6 +23,7 @@ Determinism contract: a fleet run is a pure function of its
 never change a single byte of the default (exact-aggregation) JSON.
 """
 
+from repro.fleet.affinity import PIN_MODES
 from repro.fleet.engine import (BACKENDS, FleetConfig, FleetEngine,
                                 FleetResult, register_backend, run_fleet)
 from repro.fleet.pool import (POOLS, HomeTask, WorkerContext, WorkerPool,
@@ -30,6 +31,11 @@ from repro.fleet.pool import (POOLS, HomeTask, WorkerContext, WorkerPool,
                               register_pool)
 from repro.fleet.seeding import SeedSplitter, home_seed
 from repro.fleet.sharding import HomeSpec, Shard, plan_shards
+from repro.fleet.shm import (TRANSPORTS, SlabSet, TransportError,
+                             pack_accumulator, shm_available,
+                             unpack_accumulator)
+from repro.fleet.spool import (load_spooled_home, merge_spool,
+                               replay_spooled_home)
 from repro.fleet.worker import HomeFactory, run_home, run_shard
 
 __all__ = [
@@ -54,4 +60,14 @@ __all__ = [
     "plan_shards",
     "run_home",
     "run_shard",
+    "TRANSPORTS",
+    "TransportError",
+    "SlabSet",
+    "pack_accumulator",
+    "unpack_accumulator",
+    "shm_available",
+    "PIN_MODES",
+    "merge_spool",
+    "load_spooled_home",
+    "replay_spooled_home",
 ]

@@ -1,0 +1,71 @@
+"""CPU affinity knobs for fleet worker processes.
+
+``--pin spread`` pins each process worker to one CPU, round-robin over
+the CPUs the parent may use — on NUMA boxes this stops the scheduler
+migrating the long-lived workers (and their reused ``SafeHome`` heaps)
+between sockets mid-run.  Everything degrades to a no-op where the
+platform lacks ``os.sched_setaffinity`` (macOS, Windows) or denies it.
+
+Worker slot assignment is the one coordination problem here: a
+``ProcessPoolExecutor`` initializer does not know its worker ordinal.
+Slots are claimed through ``O_CREAT | O_EXCL`` files in a parent-owned
+run directory — atomic on local filesystems, no shared counters, and
+the claim directory dies with the run.
+"""
+
+import os
+from typing import Optional
+
+#: Pinning modes: ``none`` (scheduler decides) or ``spread``
+#: (round-robin one CPU per worker slot).
+PIN_MODES = ("none", "spread")
+
+
+def available_cpus() -> int:
+    """CPUs this process may run on (affinity-aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def claim_slot(claim_dir: str, limit: int) -> Optional[int]:
+    """Atomically claim the lowest free worker slot in ``claim_dir``.
+
+    Returns the slot index, or ``None`` when every slot is taken (more
+    workers than the pool planned — pin degrades to a no-op rather
+    than doubling up a CPU deterministically).
+    """
+    for slot in range(max(1, limit)):
+        try:
+            handle = os.open(os.path.join(claim_dir, f"slot-{slot}"),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:  # pragma: no cover - unwritable claim dir
+            return None
+        os.write(handle, str(os.getpid()).encode("ascii"))
+        os.close(handle)
+        return slot
+    return None
+
+
+def pin_to_slot(slot: Optional[int], mode: str = "spread"
+                ) -> Optional[int]:
+    """Pin the calling process to its slot's CPU; returns the CPU id,
+    or ``None`` when pinning was skipped (mode, platform, permission).
+    """
+    if mode != "spread" or slot is None:
+        return None
+    try:
+        cpus = sorted(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return None
+    if not cpus:  # pragma: no cover - defensive
+        return None
+    cpu = cpus[slot % len(cpus)]
+    try:
+        os.sched_setaffinity(0, {cpu})
+    except OSError:  # pragma: no cover - containers may deny this
+        return None
+    return cpu

@@ -24,12 +24,17 @@ legacy shard path.
 
 import json
 import os
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Tuple
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.fleet import shm as _shm
+from repro.fleet.affinity import PIN_MODES
 from repro.fleet.pool import (AGGREGATE_MODES, POOLS, ChunkResult,
                               WorkerContext, default_chunk_size,
                               plan_chunks)
+from repro.fleet.spool import merge_spool
 from repro.fleet.seeding import SeedSplitter
 from repro.fleet.sharding import (DEFAULT_CHECK_FINAL, DEFAULT_CRASHES,
                                   DEFAULT_EXECUTION,
@@ -96,6 +101,18 @@ class FleetConfig:
     # Hub-crash chaos schedule, applied per home (see HomeSpec).
     crashes: int = DEFAULT_CRASHES
     recovery: str = DEFAULT_RECOVERY
+    # Streaming-partial transport: "pickle" ships accumulators through
+    # the pool's result channel, "shm" struct-packs them into
+    # preallocated shared-memory slabs (requires aggregate="stream").
+    transport: str = "pickle"
+    # CPU pinning for process workers: "none" | "spread".
+    pin: str = "none"
+    # Directory for worker-spooled WALs ("" disables; forces durable
+    # homes and produces fleet-wal.jsonl + index after the run).
+    wal_dir: str = ""
+    # Directory for per-worker cProfile dumps ("" disables; used by
+    # scripts/profile_fleet.py for the process backend).
+    profile_dir: str = ""
 
     def effective_workers(self) -> int:
         workers = self.workers or (os.cpu_count() or 1)
@@ -184,6 +201,22 @@ class FleetEngine:
                 f"aggregate='stream' needs a pool backend "
                 f"({sorted(POOLS)}); {config.backend!r} is a legacy "
                 f"shard backend")
+        if config.transport not in _shm.TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {config.transport!r}; pick from "
+                f"{_shm.TRANSPORTS}")
+        if config.transport == "shm":
+            if config.aggregate != "stream":
+                raise ValueError(
+                    "transport='shm' carries streaming partials; it "
+                    "requires aggregate='stream'")
+            if not _shm.shm_available():
+                raise ValueError(
+                    "transport='shm' needs multiprocessing."
+                    "shared_memory, which this platform lacks")
+        if config.pin not in PIN_MODES:
+            raise ValueError(f"unknown pin mode {config.pin!r}; "
+                             f"pick from {PIN_MODES}")
         # Fail fast on bad scenario/mix names before spinning up a pool.
         scenario_for_home(0, config.scenario, config.mix)
         self.config = config
@@ -197,7 +230,9 @@ class FleetEngine:
             execution=config.execution, check_final=config.check_final,
             exhaustive_limit=config.exhaustive_limit,
             max_events=config.max_events, crashes=config.crashes,
-            recovery=config.recovery, aggregate=config.aggregate)
+            recovery=config.recovery, aggregate=config.aggregate,
+            transport=config.transport, wal_dir=config.wal_dir,
+            pin=config.pin, profile_dir=config.profile_dir)
 
     def tasks(self) -> List[Tuple[int, str, int]]:
         """Compact per-home dispatch tuples: pure function of config."""
@@ -236,30 +271,78 @@ class FleetEngine:
         workers = config.effective_workers()
         started = time.perf_counter()
         if config.backend in POOLS:
+            if config.wal_dir:
+                os.makedirs(config.wal_dir, exist_ok=True)
             chunks = plan_chunks(self.tasks(), config.effective_chunk())
-            pool = POOLS[config.backend](workers)
-            results: List[ChunkResult] = pool.run(self.context(), chunks)
+            # Never spin up more workers than there are chunks to feed
+            # them (e.g. --workers 8 over 3 homes): idle workers cost
+            # startup and, under shm/pinning, slabs and CPU slots.
+            workers = min(workers, len(chunks))
+            context = self.context()
+            slabs: Optional[_shm.SlabSet] = None
+            pin_dir = ""
+            try:
+                if config.transport == "shm":
+                    slabs = _shm.SlabSet(workers, len(chunks))
+                    context = replace(
+                        context, slab_names=slabs.names,
+                        slab_region_bytes=slabs.region_bytes)
+                if config.pin != "none":
+                    pin_dir = tempfile.mkdtemp(prefix="repro-fleet-pin-")
+                    context = replace(context, pin_dir=pin_dir,
+                                      pin_slots=workers)
+                pool = POOLS[config.backend](workers)
+                results: List[ChunkResult] = pool.run(context, chunks)
+                partials = [self._extract_partial(result, slabs)
+                            for result in results]
+            finally:
+                # Parent-owned cleanup, unconditional: no /dev/shm
+                # entry or claim dir outlives the run, even when a
+                # worker died mid-chunk.
+                if slabs is not None:
+                    slabs.close(unlink=True)
+                _shm.detach_all()
+                if pin_dir:
+                    shutil.rmtree(pin_dir, ignore_errors=True)
             rows = [row for result in results for row in result.rows]
         else:
             # Legacy custom backend: shard-level API, exact aggregation.
             shards = plan_shards(self.specs(), workers)
             rows = BACKENDS[config.backend](shards, workers)
             results = []
-        elapsed = time.perf_counter() - started
+            partials = []
         rows = sorted(rows, key=lambda row: row["home_id"])
         if len(rows) != config.homes:
             raise RuntimeError(
                 f"backend {config.backend!r} returned {len(rows)} rows "
                 f"for {config.homes} homes")
+        if config.wal_dir:
+            merge_spool(config.wal_dir, expected_homes=config.homes)
+        elapsed = time.perf_counter() - started
         if config.aggregate == "stream" and results:
             # Partials merge in chunk order — deterministic for a fixed
             # chunk layout regardless of completion order.
-            aggregate = merge_accumulators(
-                [result.partial for result in results]).aggregate()
+            aggregate = merge_accumulators(partials).aggregate()
         else:
             aggregate = aggregate_homes(rows)
         return FleetResult(config=config, rows=rows,
                            aggregate=aggregate, elapsed_s=elapsed)
+
+    @staticmethod
+    def _extract_partial(result: ChunkResult,
+                         slabs: Optional[_shm.SlabSet]):
+        """A chunk's accumulator partial, whichever way it traveled:
+        unpacked from its shared-memory region, or pickled (pickle
+        transport and per-chunk region-overflow fallback)."""
+        if result.shm is not None:
+            if slabs is None:
+                raise RuntimeError(
+                    f"chunk {result.chunk_id} returned a shared-memory "
+                    f"reference but no slabs were created")
+            slab_index, offset, length = result.shm
+            return _shm.unpack_accumulator(
+                slabs.read(slab_index, offset, length))
+        return result.partial
 
 
 def run_fleet(homes: int, seed: int = 0, **kwargs: Any) -> FleetResult:

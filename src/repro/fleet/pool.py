@@ -28,11 +28,14 @@ cycles scenario profiles by home id) stays balanced at any chunk size
 of a few homes or more.
 """
 
+import atexit
 import threading
 from concurrent import futures
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.fleet import shm as _shm
+from repro.fleet.affinity import claim_slot, pin_to_slot
 from repro.fleet.sharding import (DEFAULT_CHECK_FINAL, DEFAULT_CRASHES,
                                   DEFAULT_EXECUTION,
                                   DEFAULT_EXHAUSTIVE_LIMIT,
@@ -68,6 +71,21 @@ class WorkerContext:
     recovery: str = DEFAULT_RECOVERY
     aggregate: str = "exact"
     resolution: float = DEFAULT_LATENCY_RESOLUTION
+    #: Streaming-partial transport ("pickle" | "shm"); with "shm" the
+    #: parent pre-creates the slabs and ships their names here.
+    transport: str = "pickle"
+    slab_names: Tuple[str, ...] = ()
+    slab_region_bytes: int = _shm.DEFAULT_REGION_BYTES
+    #: Durable-fleet WAL spool directory ("" disables spooling).
+    wal_dir: str = ""
+    #: CPU pinning ("none" | "spread"), the parent-owned slot-claim
+    #: directory process workers coordinate through, and the number of
+    #: claimable slots (the planned worker count).
+    pin: str = "none"
+    pin_dir: str = ""
+    pin_slots: int = 0
+    #: Per-worker cProfile dump directory ("" disables profiling).
+    profile_dir: str = ""
 
 
 @dataclass
@@ -76,12 +94,17 @@ class ChunkResult:
 
     ``rows`` are per-home summary rows (raw latency sample lists
     already stripped in streaming mode); ``partial`` is the chunk's
-    pre-reduced accumulator (streaming mode only).
+    pre-reduced accumulator (streaming mode, pickle transport).  With
+    the shared-memory transport ``partial`` stays ``None`` and ``shm``
+    carries the ``(slab_index, offset, length)`` reference of the
+    struct-packed partial instead — unless the packed form outgrew its
+    region, in which case the worker fell back to ``partial``.
     """
 
     chunk_id: int
     rows: List[Dict[str, Any]]
     partial: Optional[FleetAccumulator] = None
+    shm: Optional[Tuple[int, int, int]] = None
 
 
 def plan_chunks(tasks: List[HomeTask],
@@ -105,7 +128,16 @@ def process_chunk(context: WorkerContext, chunk_id: int,
     rows = [factory.run_task(task) for task in chunk]
     if context.aggregate == "stream":
         partial = accumulate_rows(rows, context.resolution)
-        return ChunkResult(chunk_id, strip_latencies(rows), partial)
+        rows = strip_latencies(rows)
+        if context.transport == "shm" and context.slab_names:
+            region = _shm.pack_partial_to_region(
+                partial, chunk_id, context.slab_names,
+                context.slab_region_bytes)
+            if region is not None:
+                return ChunkResult(chunk_id, rows, None, region)
+            # Packed partial outgrew its fixed region: degrade this
+            # chunk to the pickled path rather than truncate.
+        return ChunkResult(chunk_id, rows, partial)
     return ChunkResult(chunk_id, rows, None)
 
 
@@ -196,6 +228,47 @@ def _process_worker_init(context: WorkerContext) -> None:
 
     _PROCESS_STATE["context"] = context
     _PROCESS_STATE["factory"] = HomeFactory(context)
+    if context.pin != "none" and context.pin_dir:
+        slot = claim_slot(context.pin_dir, context.pin_slots or 1)
+        pin_to_slot(slot, context.pin)
+    if context.transport == "shm":
+        _at_worker_exit(_shm.detach_all)
+    if context.profile_dir:
+        _start_worker_profile(context.profile_dir)
+
+
+def _at_worker_exit(callback) -> None:
+    """Run ``callback`` when this worker process exits.
+
+    Forked multiprocessing children leave via ``os._exit``, which skips
+    the regular ``atexit`` machinery — ``multiprocessing.util``'s
+    finalizer registry is the hook that actually fires there.  Plain
+    ``atexit`` is the fallback for exotic pools that reuse this
+    initializer in-process.
+    """
+    try:
+        from multiprocessing.util import Finalize
+
+        Finalize(None, callback, exitpriority=10)
+    except Exception:  # pragma: no cover - stdlib-internal API moved
+        atexit.register(callback)
+
+
+def _start_worker_profile(profile_dir: str) -> None:
+    """Profile this worker's whole life; dump pstats at worker exit so
+    the parent can merge the per-worker files into one view."""
+    import cProfile
+    import os
+
+    profile = cProfile.Profile()
+    profile.enable()
+
+    def _dump() -> None:
+        profile.disable()
+        profile.dump_stats(os.path.join(profile_dir,
+                                        f"worker-{os.getpid()}.pstats"))
+
+    _at_worker_exit(_dump)
 
 
 def _process_worker_chunk(

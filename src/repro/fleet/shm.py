@@ -1,0 +1,281 @@
+"""Shared-memory result transport for fleet runs.
+
+The streaming-aggregation path (PR 5) pre-reduces each chunk into a
+:class:`~repro.metrics.fleet.FleetAccumulator`; by default that partial
+crosses the process boundary *pickled* — a dict graph the parent must
+unpickle per chunk.  At million-home scale the per-item serialization,
+not the merge, is the parent's bottleneck (the same argument *GPU
+System Calls* makes for batched crossings).  This module replaces the
+pickle hop with flat bytes in preallocated
+``multiprocessing.shared_memory`` slabs:
+
+* the parent creates **one slab per worker** before dispatch and ships
+  only the slab *names* through the one-time
+  :class:`~repro.fleet.pool.WorkerContext` broadcast;
+* chunk ``i`` owns the fixed region ``i // slabs`` of slab
+  ``i % slabs`` (:func:`region_for_chunk`) — regions are disjoint by
+  construction, so workers write without any cross-process
+  coordination;
+* a worker struct-packs its chunk's accumulator
+  (:func:`pack_accumulator`) into its region and returns a tiny
+  ``(slab, offset, length)`` reference; the parent unpacks O(workers)
+  flat buffers in chunk order (:func:`unpack_accumulator`);
+* every packed buffer starts with a fixed header — magic, format
+  version and a byte-order mark — so a reader rejects slabs written by
+  a different layout or endianness instead of mis-parsing them;
+* a partial too large for its region (or a platform without
+  ``shared_memory``) falls back to the pickled path per chunk — the
+  transport degrades, never truncates.
+
+The parent owns every segment: slabs are created before the pool runs
+and unlinked in a ``finally`` whether the run completes, raises or a
+worker dies, so no ``/dev/shm`` entries outlive the engine (asserted
+in ``tests/test_fleet_transport.py``).
+"""
+
+import os
+import secrets
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.fleet import FleetAccumulator
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    _shared_memory = None
+
+#: Transport modes for streaming partials (see repro.fleet.pool).
+TRANSPORTS = ("pickle", "shm")
+
+#: Fixed per-chunk region: header + scalars + ~4000 histogram bins.
+DEFAULT_REGION_BYTES = 64 * 1024
+
+#: Header layout: magic, format version, byte-order mark.  Everything
+#: is packed in *native* order; the BOM field is how a reader detects a
+#: slab written by an other-endian machine (the mark reads back
+#: byte-swapped) and rejects it.
+MAGIC = b"RFLT"
+VERSION = 1
+BYTE_ORDER_MARK = 0x1BED
+_HEADER = struct.Struct("=4sHH")
+#: Scalar block: 6 int64 counters, 5 float64 sums/maxima, the histogram
+#: resolution, the histogram sample count and the bin-pair count.
+_SCALARS = struct.Struct("=6q6d2q")
+#: One histogram bin: (bin_index, count), both int64.
+_BIN = struct.Struct("=2q")
+
+
+class TransportError(ValueError):
+    """A packed buffer this reader must not interpret (bad magic,
+    unknown version, foreign endianness, corrupt layout)."""
+
+
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` exists here."""
+    return _shared_memory is not None
+
+
+def packed_size(accumulator: FleetAccumulator) -> int:
+    """Exact byte length :func:`pack_accumulator` will produce."""
+    return (_HEADER.size + _SCALARS.size
+            + _BIN.size * len(accumulator.histogram.bins))
+
+
+def pack_accumulator(accumulator: FleetAccumulator) -> bytes:
+    """Struct-pack one accumulator partial into flat bytes."""
+    state = accumulator.state()
+    items = state["hist_items"]
+    parts = [
+        _HEADER.pack(MAGIC, VERSION, BYTE_ORDER_MARK),
+        _SCALARS.pack(*state["ints"],
+                      *state["floats"], state["resolution"],
+                      state["hist_count"], len(items)),
+    ]
+    parts.extend(_BIN.pack(bin_index, count) for bin_index, count in items)
+    return b"".join(parts)
+
+
+def unpack_accumulator(buffer: bytes) -> FleetAccumulator:
+    """Inverse of :func:`pack_accumulator`; raises
+    :class:`TransportError` on any header or layout mismatch."""
+    if len(buffer) < _HEADER.size + _SCALARS.size:
+        raise TransportError(
+            f"buffer of {len(buffer)} bytes is shorter than the "
+            f"fixed header + scalar block")
+    magic, version, bom = _HEADER.unpack_from(buffer, 0)
+    if magic != MAGIC:
+        raise TransportError(f"bad magic {magic!r}; expected {MAGIC!r}")
+    if bom != BYTE_ORDER_MARK:
+        raise TransportError(
+            f"byte-order mark reads 0x{bom:04X}, expected "
+            f"0x{BYTE_ORDER_MARK:04X} — slab written by a machine of "
+            f"different endianness")
+    if version != VERSION:
+        raise TransportError(
+            f"unsupported transport format version {version}; this "
+            f"reader understands version {VERSION}")
+    scalars = _SCALARS.unpack_from(buffer, _HEADER.size)
+    ints, floats = scalars[:6], scalars[6:11]
+    resolution, hist_count, n_bins = (scalars[11], scalars[12],
+                                      scalars[13])
+    expected = _HEADER.size + _SCALARS.size + _BIN.size * n_bins
+    if len(buffer) != expected:
+        raise TransportError(
+            f"buffer holds {len(buffer)} bytes, layout declares "
+            f"{expected} ({n_bins} bins)")
+    items: List[Tuple[int, int]] = [
+        _BIN.unpack_from(buffer, _HEADER.size + _SCALARS.size
+                         + _BIN.size * index)
+        for index in range(n_bins)]
+    try:
+        return FleetAccumulator.from_state({
+            "ints": ints, "floats": floats, "resolution": resolution,
+            "hist_count": hist_count, "hist_items": items})
+    except ValueError as error:
+        raise TransportError(str(error)) from error
+
+
+# -- slab layout ---------------------------------------------------------------
+
+
+def region_for_chunk(chunk_id: int, slabs: int,
+                     region_bytes: int) -> Tuple[int, int]:
+    """The ``(slab_index, byte_offset)`` owned by one chunk.
+
+    Chunks round-robin across slabs and stack regions within one, so
+    any chunk↔worker assignment the pool makes writes disjoint bytes.
+    """
+    if slabs <= 0 or region_bytes <= 0:
+        raise ValueError("slabs and region_bytes must be positive")
+    return chunk_id % slabs, (chunk_id // slabs) * region_bytes
+
+
+class SlabSet:
+    """Parent-side owner of the per-worker shared-memory segments.
+
+    Created before the pool dispatches and unlinked in the engine's
+    ``finally`` — segment lifetime is bounded by the run, not by worker
+    health.
+    """
+
+    def __init__(self, slabs: int, chunks: int,
+                 region_bytes: int = DEFAULT_REGION_BYTES) -> None:
+        if not shm_available():
+            raise TransportError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use transport='pickle'")
+        if slabs <= 0 or chunks <= 0:
+            raise ValueError("slabs and chunks must be positive")
+        self.region_bytes = region_bytes
+        regions_per_slab = -(-chunks // slabs)
+        size = max(1, regions_per_slab) * region_bytes
+        self._segments = []
+        token = secrets.token_hex(4)
+        try:
+            for index in range(slabs):
+                name = f"repro-fleet-{os.getpid()}-{token}-{index}"
+                self._segments.append(_shared_memory.SharedMemory(
+                    name=name, create=True, size=size))
+        except BaseException:
+            self.close(unlink=True)
+            raise
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(segment.name for segment in self._segments)
+
+    def read(self, slab_index: int, offset: int, length: int) -> bytes:
+        segment = self._segments[slab_index]
+        return bytes(segment.buf[offset:offset + length])
+
+    def close(self, unlink: bool = True) -> None:
+        """Release every segment (idempotent); ``unlink`` removes the
+        backing ``/dev/shm`` entries so nothing leaks past the run."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            if unlink:
+                try:
+                    segment.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+
+
+# -- worker-side attach cache --------------------------------------------------
+
+_ATTACHED: Dict[str, Any] = {}
+
+
+def attach_slab(name: str):
+    """Attach (once per process) to a parent-created slab by name.
+
+    The attachment is deliberately kept OUT of the process's
+    ``resource_tracker``: the *parent* owns unlinking, and a tracked
+    attachment would make worker teardown race the parent's cleanup
+    (double unlinks, "leaked shared_memory" noise).  Python 3.13 has
+    ``track=False`` for exactly this; on older interpreters the
+    tracker's register call is suppressed around the attach.
+    """
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        try:
+            segment = _shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+
+            def _skip_shm(resource_name, rtype):
+                if rtype != "shared_memory":  # pragma: no cover
+                    original(resource_name, rtype)
+
+            resource_tracker.register = _skip_shm
+            try:
+                segment = _shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+        _ATTACHED[name] = segment
+    return segment
+
+
+def write_region(name: str, offset: int, payload: bytes) -> int:
+    """Write one packed partial into this worker's region; returns the
+    byte length written."""
+    segment = attach_slab(name)
+    segment.buf[offset:offset + len(payload)] = payload
+    return len(payload)
+
+
+def detach_all() -> None:
+    """Close every cached attachment (worker shutdown hook)."""
+    for segment in list(_ATTACHED.values()):
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover
+            pass
+    _ATTACHED.clear()
+
+
+def pack_partial_to_region(accumulator: FleetAccumulator,
+                           chunk_id: int,
+                           slab_names: Sequence[str],
+                           region_bytes: int
+                           ) -> Optional[Tuple[int, int, int]]:
+    """Pack one partial into its chunk's region.
+
+    Returns the ``(slab_index, offset, length)`` reference the worker
+    ships back, or ``None`` when the packed form does not fit the fixed
+    region — the caller then falls back to the pickled partial (the
+    transport degrades per chunk rather than truncating data).
+    """
+    payload = pack_accumulator(accumulator)
+    if len(payload) > region_bytes:
+        return None
+    slab_index, offset = region_for_chunk(chunk_id, len(slab_names),
+                                          region_bytes)
+    write_region(slab_names[slab_index], offset, payload)
+    return slab_index, offset, len(payload)

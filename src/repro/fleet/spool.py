@@ -1,0 +1,197 @@
+"""Worker-local WAL spooling for durable fleets.
+
+Before this module, a durable fleet's write-ahead logs lived and died
+inside the workers: rows carried recovery *counters* back, but the WAL
+itself — the complete, replayable recipe for each home — was dropped,
+and any design that persisted it would have funneled every record
+through the parent.  Spooling makes the workers the durability plane:
+
+* each worker appends its homes' WALs (input + observation records,
+  plus checkpoint digests) to its **own** segment file in ``wal_dir``
+  — one compact JSON line per home, no parent involvement while the
+  fleet runs;
+* after the pool drains, the parent performs one O(homes) pass:
+  :func:`merge_spool` concatenates the segments into a single
+  ``fleet-wal.jsonl`` ordered by home id and writes a byte-offset
+  index (``fleet-wal-index.json``) so any home's log is one seek away;
+* replay determinism is preserved end-to-end: a home rebuilt from its
+  spooled record (:func:`replay_spooled_home`) re-applies the logged
+  inputs through the same verified-replay path hub recovery uses and
+  reaches a byte-identical report — crashes, recoveries and all.
+
+Spooled WAL records hold virtual times and seeded decisions only, so
+segment contents are a pure function of the fleet config; the merged
+file is byte-deterministic across backends, worker counts and chunk
+layouts (segment *names* differ per run, the merged artifact does not).
+"""
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+#: Merged artifact names inside ``wal_dir``.
+MERGED_NAME = "fleet-wal.jsonl"
+INDEX_NAME = "fleet-wal-index.json"
+_SEGMENT_PREFIX = "spool-"
+_SEGMENT_SUFFIX = ".seg"
+
+INDEX_SCHEMA = "repro-fleet-wal-index/1"
+
+
+def home_wal_record(home_id: int, scenario: str, seed: int,
+                    home) -> Dict[str, Any]:
+    """One home's spool line: identity + full WAL + checkpoint digests.
+
+    ``home`` is a durable :class:`~repro.hub.safehome.SafeHome` that
+    has finished running; its WAL inputs are a complete replay recipe
+    and the checkpoint digests are the verification anchors.
+    """
+    manager = home.durability
+    if manager is None:
+        raise ValueError(f"home {home_id} is not durable; nothing to spool")
+    return {
+        "home_id": home_id,
+        "scenario": scenario,
+        "seed": seed,
+        "wal": [record.to_dict() for record in manager.wal.records],
+        "compacted_observations": manager.wal.compacted_observations,
+        "checkpoints": [checkpoint.to_dict(include_state=False)
+                        for checkpoint in manager.checkpoints],
+    }
+
+
+class SpoolWriter:
+    """One worker's append-only segment file.
+
+    The file name is unique per (process, thread) so serial, thread and
+    process pools all spool without coordination; the handle stays open
+    across homes (flushed per record) so durability never re-opens the
+    file on the per-home path.
+    """
+
+    def __init__(self, wal_dir: str) -> None:
+        self.wal_dir = wal_dir
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            name = (f"{_SEGMENT_PREFIX}{os.getpid()}-"
+                    f"{threading.get_ident()}{_SEGMENT_SUFFIX}")
+            self._handle = open(os.path.join(self.wal_dir, name),
+                                "a", encoding="utf-8")
+        return self._handle
+
+    def write(self, record: Dict[str, Any]) -> None:
+        handle = self._open()
+        handle.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def merge_spool(wal_dir: str,
+                expected_homes: Optional[int] = None) -> Dict[str, Any]:
+    """Concatenate every worker segment into the indexed merged log.
+
+    Reads all ``spool-*.seg`` files, orders records by home id, writes
+    ``fleet-wal.jsonl`` + ``fleet-wal-index.json`` and removes the
+    segments.  Returns the summary the index also records.
+    """
+    records: List[Dict[str, Any]] = []
+    segments = sorted(
+        entry for entry in os.listdir(wal_dir)
+        if entry.startswith(_SEGMENT_PREFIX)
+        and entry.endswith(_SEGMENT_SUFFIX))
+    for segment in segments:
+        path = os.path.join(wal_dir, segment)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    records.sort(key=lambda record: record["home_id"])
+    seen = [record["home_id"] for record in records]
+    if len(set(seen)) != len(seen):
+        raise ValueError(f"duplicate home ids in spooled WAL: {seen}")
+    if expected_homes is not None and len(records) != expected_homes:
+        raise ValueError(
+            f"spooled WALs cover {len(records)} homes, fleet ran "
+            f"{expected_homes}")
+
+    index: Dict[str, Dict[str, int]] = {}
+    offset = 0
+    wal_records = 0
+    merged_path = os.path.join(wal_dir, MERGED_NAME)
+    with open(merged_path, "w", encoding="utf-8") as merged:
+        for record in records:
+            line = json.dumps(record, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+            encoded = len(line.encode("utf-8"))
+            index[str(record["home_id"])] = {"offset": offset,
+                                             "length": encoded}
+            merged.write(line)
+            offset += encoded
+            wal_records += len(record["wal"])
+    summary = {"homes": len(records), "wal_records": wal_records}
+    with open(os.path.join(wal_dir, INDEX_NAME), "w",
+              encoding="utf-8") as handle:
+        json.dump({"schema": INDEX_SCHEMA, **summary, "index": index},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for segment in segments:
+        os.remove(os.path.join(wal_dir, segment))
+    return summary
+
+
+def load_spooled_home(wal_dir: str, home_id: int) -> Dict[str, Any]:
+    """One home's spooled record, via the index (single seek + read)."""
+    with open(os.path.join(wal_dir, INDEX_NAME), "r",
+              encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != INDEX_SCHEMA:
+        raise ValueError(f"unexpected index schema "
+                         f"{payload.get('schema')!r}")
+    entry = payload["index"].get(str(home_id))
+    if entry is None:
+        raise KeyError(f"home {home_id} is not in the spooled index")
+    with open(os.path.join(wal_dir, MERGED_NAME), "rb") as handle:
+        handle.seek(entry["offset"])
+        line = handle.read(entry["length"])
+    return json.loads(line.decode("utf-8"))
+
+
+def replay_spooled_home(record: Dict[str, Any]):
+    """Rebuild one home from its spooled WAL, by verified replay.
+
+    Re-applies the durable input records — including any mid-run
+    crash/recovery sequences — through the same replay path hub
+    recovery uses, so the returned :class:`SafeHome` has run to the
+    same final state the fleet worker reported (the spooled-WAL
+    byte-identity test in ``tests/test_fleet_transport.py`` pins the
+    whole row).
+    """
+    from repro.hub.durability.recovery import DurabilityConfig
+    from repro.hub.durability.wal import WalRecord
+    from repro.hub.safehome import SafeHome
+
+    records = [WalRecord.from_dict(entry) for entry in record["wal"]]
+    if not records or records[0].type != "home-created":
+        raise ValueError("spooled WAL does not start with home-created")
+    created = records[0].payload
+    home = SafeHome(
+        visibility=created["visibility"],
+        scheduler=created["scheduler"],
+        execution=created["execution"],
+        seed=created["seed"],
+        detector_ping_period_s=created["detector_ping_period_s"],
+        durability=DurabilityConfig(
+            checkpoint_every=created["checkpoint_every"]))
+    for entry in records[1:]:
+        if entry.is_input:
+            home._replay_input(entry)
+    return home

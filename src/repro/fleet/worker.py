@@ -21,6 +21,7 @@ fleets.
 from typing import Any, Dict, List, Optional
 
 from repro.fleet.sharding import HomeSpec, Shard
+from repro.fleet.spool import SpoolWriter, home_wal_record
 from repro.hub.safehome import SafeHome
 from repro.sim.random import RandomStreams
 from repro.workloads.fleet_mix import build_fleet_workload
@@ -56,11 +57,15 @@ class HomeFactory:
     def __init__(self, context) -> None:
         self.context = context
         self._home: Optional[SafeHome] = None
+        self._spool: Optional[SpoolWriter] = None
 
     def acquire(self, seed: int) -> SafeHome:
         """A hub seeded for the next home (fresh once, then reused)."""
         context = self.context
-        durability = bool(context.crashes)
+        # A WAL spool directory forces durability even without a crash
+        # schedule: the spooled WAL is the durable artifact itself.
+        durability = bool(context.crashes) \
+            or bool(getattr(context, "wal_dir", ""))
         home = self._home
         if home is None:
             home = self._home = SafeHome(
@@ -82,7 +87,15 @@ class HomeFactory:
             exhaustive_limit=context.exhaustive_limit,
             max_events=context.max_events,
             crashes=context.crashes, recovery=context.recovery)
-        return run_home(spec, home=self.acquire(seed))
+        home = self.acquire(seed)
+        row = run_home(spec, home=home)
+        wal_dir = getattr(context, "wal_dir", "")
+        if wal_dir:
+            if self._spool is None:
+                self._spool = SpoolWriter(wal_dir)
+            self._spool.write(home_wal_record(home_id, scenario, seed,
+                                              home))
+        return row
 
 
 def run_home(spec: HomeSpec,

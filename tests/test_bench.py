@@ -116,6 +116,42 @@ class TestRegistry:
         assert "fleet_scale" in smoke and "sim_dispatch" in smoke
         assert smoke < full
 
+    def test_scale_suite_isolates_multicore_benchmark(self):
+        from repro.bench.suites import load_builtin_suites
+
+        load_builtin_suites()
+        assert "scale" in registry.SUITES
+        assert registry.names("scale") == ["fleet_scale_mp"]
+        assert "fleet_scale_mp" not in registry.names("smoke")
+        assert "fleet_scale_mp" in registry.names("full")
+
+    def test_fleet_scale_mp_outcome_shape(self):
+        from repro.bench.suites import load_builtin_suites
+
+        load_builtin_suites()
+        outcome = registry.call("fleet_scale_mp", homes=6,
+                                worker_counts=(1, 2), inner_repeats=1)
+        assert set(outcome["metrics"]) == \
+            {"routines", "committed", "abort_rate"}
+        timing_block = outcome["timing"]
+        assert timing_block["cores"] >= 1
+        assert timing_block["transport"] in ("shm", "pickle")
+        rows = timing_block["scaling"]
+        assert [row["workers"] for row in rows] == [1, 2]
+        assert rows[0]["speedup"] == 1.0
+        assert rows[0]["efficiency"] == 1.0
+        for row in rows:
+            assert row["homes_per_sec"] > 0
+            assert {"wall_s", "efficiency_raw", "efficiency"} <= set(row)
+
+    def test_fleet_scale_mp_requires_reference_count(self):
+        from repro.bench.suites import load_builtin_suites
+
+        load_builtin_suites()
+        with pytest.raises(ValueError, match="start at 1"):
+            registry.call("fleet_scale_mp", homes=4, worker_counts=(2, 4),
+                          inner_repeats=1)
+
 
 class TestBenchResult:
     def test_json_round_trip(self):
