@@ -306,3 +306,42 @@ def recovery_replay(repeats_workload: int,
         },
         "timing": {"recovery_ms": round(report.wall_s * 1e3, 3)},
     }
+
+
+@benchmark("serve_latency", suite="smoke", tenants=8, per_tenant=40,
+           seed=7)
+def serve_latency(tenants: int, per_tenant: int,
+                  seed: int) -> Dict[str, Any]:
+    """Service-mode hub throughput: virtual-paced closed-loop serving.
+
+    One home, ``tenants`` closed-loop clients each submitting
+    ``per_tenant`` seeded menu picks through admission control; the
+    deterministic metrics double as a drift alarm on service latency.
+    Untracked-first in the baseline: missing entries report
+    "unmeasured", so the floor is adopted on the next baseline update.
+    """
+    from repro.serve import (ServeConfig, ServeHub, build_serve_home,
+                             run_closed_loop)
+
+    hub = ServeHub(build_serve_home(seed=seed), ServeConfig())
+    for i in range(tenants):
+        hub.add_tenant(f"t{i}", weight=1 + (i % 2))
+    run_closed_loop(hub, per_tenant=per_tenant, seed=seed)
+    status = hub.status()
+    total = status["latency"]["total"]
+    return {
+        "events": sum(row["events_processed"]
+                      for row in status["homes"].values()),
+        "virtual_s": max(row["virtual_now"]
+                         for row in status["homes"].values()),
+        "metrics": {
+            "routines": tenants * per_tenant,
+            "committed": sum(row["committed"]
+                             for row in status["tenants"].values()),
+            "latency_p50": total["p50"],
+            "latency_p95": total["p95"],
+            "latency_p99": total["p99"],
+            "max_queue_depth": max(row["max_depth"]
+                                   for row in status["tenants"].values()),
+        },
+    }

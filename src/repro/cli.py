@@ -24,6 +24,11 @@ Commands:
   mutation maximizing incongruence/abort/lock-wait pressure per
   visibility model, oracle-checked, emitting a deterministic JSON
   corpus of worst-found scenarios (see docs/scenario-synthesis.md).
+* ``serve`` — run the hub as a long-lived service: N tenants submit
+  closed-loop against live homes under real-time pacing
+  (``--speedup``), bounded fair admission queues and streaming SLO
+  metrics (``--json-status``, ``GET /status``); ``--speedup inf``
+  runs virtual-paced and byte-deterministic (see docs/serving.md).
 """
 
 import argparse
@@ -339,6 +344,98 @@ def cmd_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.errors import ServeError
+    from repro.serve import (ServeConfig, ServeHub, StatusServer,
+                             ThreadedClient, build_serve_home,
+                             parse_speedup, run_closed_loop)
+    from repro.sim.random import derive_seed
+
+    try:
+        speedup = parse_speedup(args.speedup)
+        config = ServeConfig(speedup=speedup,
+                             queue_capacity=args.queue_capacity,
+                             window_s=args.window)
+        homes = {
+            f"home-{i}": build_serve_home(
+                model=args.model, scheduler=args.scheduler,
+                execution=args.execution,
+                seed=derive_seed(args.seed, f"home-{i}"))
+            for i in range(args.homes)}
+        hub = ServeHub(homes, config)
+        weights = [int(w) for w in args.weights.split(",")] \
+            if args.weights else [1]
+        for i in range(args.tenants):
+            hub.add_tenant(f"t{i}", weight=weights[i % len(weights)])
+    except (ServeError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    status_server = None
+    if args.port >= 0:
+        status_server = StatusServer(hub, port=args.port)
+        status_server.start()
+        print(f"status: http://127.0.0.1:{status_server.port}/status",
+              file=sys.stderr)
+    try:
+        if math.isinf(speedup):
+            # Virtual-paced: inline, single-threaded, deterministic.
+            run_closed_loop(hub, per_tenant=args.routines,
+                            seed=args.seed)
+        else:
+            hub.start()
+            clients = [ThreadedClient(hub, f"t{i}", count=args.routines,
+                                      seed=args.seed)
+                       for i in range(args.tenants)]
+            for client in clients:
+                client.start()
+            for client in clients:
+                client.join()
+            hub.shutdown(drain=True, timeout=60.0)
+            for client in clients:
+                if client.error is not None:
+                    raise client.error
+    finally:
+        if status_server is not None:
+            status_server.stop()
+
+    status = hub.status(include_wall=not math.isinf(speedup))
+    label = "inf" if math.isinf(speedup) else f"{speedup:g}"
+    print_table(
+        f"serve: {args.model} x{args.homes} home(s), "
+        f"{args.tenants} tenant(s), speedup={label}",
+        [dict({"tenant": name}, **{
+            key: row[key] for key in
+            ("home", "weight", "admitted", "rejected", "committed",
+             "aborted", "max_depth", "abort_rate")})
+         for name, row in status["tenants"].items()])
+    latency = status["latency"]["total"]
+    print(f"latency (virtual s): n={latency['n']} "
+          f"p50={latency['p50']:.3f} p95={latency['p95']:.3f} "
+          f"p99={latency['p99']:.3f}", file=sys.stderr)
+    if "wall" in status:
+        print(f"wall: {status['wall']['elapsed_s']:.2f}s elapsed, "
+              f"{status['wall']['behind_s']:.3f}s behind schedule, "
+              f"{status['wall']['clock_regressions']} clock regressions",
+              file=sys.stderr)
+    if args.json_status:
+        with open(args.json_status, "w", encoding="utf-8") as handle:
+            handle.write(hub.status_json() + "\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(hub.final_report_json())
+    if args.check_oracle:
+        violations = sum(len(report.violations)
+                         for report in hub.oracle_reports().values())
+        if violations:
+            print(f"FAIL: {violations} congruence-oracle violation(s) "
+                  "in the served run", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
@@ -549,6 +646,52 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--stats", action="store_true",
                        help="print wall-clock homes/sec to stderr")
     fleet.set_defaults(func=cmd_fleet)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the hub as a long-lived multi-tenant service with "
+             "real-time pacing, admission control and SLO metrics")
+    serve.add_argument("--model", default="ev")
+    serve.add_argument("--scheduler", default="timeline")
+    serve.add_argument("--execution", default=None,
+                       choices=("serial", "parallel"),
+                       help="command-plan strategy (default: serial)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="master seed for homes and client picks "
+                            "(default: 0)")
+    serve.add_argument("--homes", type=int, default=1,
+                       help="live homes behind the hub; tenants are "
+                            "routed round-robin (default: 1)")
+    serve.add_argument("--tenants", type=int, default=4,
+                       help="closed-loop client tenants (default: 4)")
+    serve.add_argument("--weights", default="",
+                       help="comma-separated fair-share weights, cycled "
+                            "across tenants (default: all 1)")
+    serve.add_argument("--routines", type=int, default=50,
+                       help="routines each tenant submits (default: 50)")
+    serve.add_argument("--speedup", default="inf",
+                       help="virtual seconds per wall second, or 'inf' "
+                            "for virtual-paced deterministic serving "
+                            "(default: inf)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="per-tenant admission queue bound "
+                            "(default: 64)")
+    serve.add_argument("--window", type=float, default=60.0,
+                       help="rolling SLO window in virtual seconds "
+                            "(default: 60)")
+    serve.add_argument("--port", type=int, default=-1,
+                       help="serve GET /status on this port while "
+                            "running (0 = ephemeral; default: off)")
+    serve.add_argument("--json", default="",
+                       help="write the deterministic final report JSON "
+                            "to this path (the determinism gate)")
+    serve.add_argument("--json-status", default="",
+                       help="write the final SLO status JSON to this "
+                            "path (CI artifact)")
+    serve.add_argument("--check-oracle", action="store_true",
+                       help="fail (exit 1) on any congruence-oracle "
+                            "violation in the served run")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -42,13 +42,23 @@ class FailureInjector:
         self.plans.append(plan)
 
     def arm(self) -> None:
-        """Schedule not-yet-armed failures/restarts on the simulator."""
+        """Schedule not-yet-armed failures/restarts on the simulator.
+
+        Times already in the past fire immediately (clamped to ``now``):
+        a long-lived phased run — ``run(until=...)`` slices, a served
+        home — may legitimately script a failure after the clock has
+        passed its nominal time, and "the device is already down when
+        armed" is the only sensible reading.  Clamping both endpoints
+        preserves fail-before-restart: at equal times the FIFO event
+        order keeps the failure first.
+        """
         for plan in self.plans[self._armed:]:
             device = self.registry.get(plan.device_id)
-            self.sim.call_at(plan.fail_at, device.fail,
+            now = self.sim.now
+            self.sim.call_at(max(plan.fail_at, now), device.fail,
                              label=f"fail:{device.name}")
             if plan.restart_at is not None:
-                self.sim.call_at(plan.restart_at, device.restart,
+                self.sim.call_at(max(plan.restart_at, now), device.restart,
                                  label=f"restart:{device.name}")
         self._armed = len(self.plans)
 

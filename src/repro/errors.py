@@ -35,3 +35,22 @@ class HubCrashedError(SafeHomeError):
 
 class RecoveryError(SafeHomeError):
     """Hub recovery failed (replay diverged from the write-ahead log)."""
+
+
+class ServeError(SafeHomeError):
+    """Service-mode hub misuse (bad pacing config, unknown tenant, ...)."""
+
+
+class AdmissionRejected(ServeError):
+    """A submission was turned away by admission control (429-style).
+
+    ``retry_after_s`` is a wall-clock hint: how long the client should
+    back off before resubmitting.  ``None`` means "do not retry" (the
+    hub is draining toward shutdown).
+    """
+
+    def __init__(self, message: str, tenant: str = "",
+                 retry_after_s=None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s

@@ -403,6 +403,54 @@ class SafeHome:
         self._last_result = RunResult.from_controller(self.controller)
         return self._last_result
 
+    # -- service mode (docs/serving.md) -------------------------------------------------
+
+    def pump(self, until: Optional[float] = None,
+             max_events: Optional[int] = None) -> int:
+        """Advance the simulation incrementally for service mode.
+
+        A lightweight slice of :meth:`run` for long-lived serving: it
+        arms scripted failures, starts the detector when needed and
+        takes the initial snapshot on first use, but builds no
+        :class:`RunResult` (that is deferred to
+        :meth:`finalize_service`, so a serve loop calling pump
+        thousands of times stays O(events)).  Returns the number of
+        events processed.  Durability journals whole ``run()`` calls,
+        not incremental slices, so pumping a durable hub is refused.
+        """
+        self.service_prepare()
+        before = self.sim.events_processed
+        self.sim.run(until=until, max_events=max_events)
+        return self.sim.events_processed - before
+
+    def service_prepare(self) -> None:
+        """The per-slice preamble of :meth:`pump`, callable on its own
+        (the serve loop runs it before handing the simulator to a
+        pacing driver): start the detector if failures are scripted,
+        take the initial snapshot once, arm any newly scripted plans.
+        Idempotent and cheap when nothing changed.
+        """
+        self._ensure_alive()
+        if self.durability is not None:
+            raise SafeHomeError(
+                "pump() does not journal; serve non-durable homes "
+                "(durability and service mode are mutually exclusive)")
+        if self.injector.plans and not self._detector_started:
+            self.detector.start()
+            self._detector_started = True
+        if self._initial is None:
+            self._initial = self.registry.snapshot()
+        self.injector.arm()
+
+    def finalize_service(self) -> RunResult:
+        """Materialize the :class:`RunResult` of a pumped (served) run.
+
+        The service-mode counterpart of the tail of :meth:`run`; after
+        this, :meth:`report` works exactly as it does for batch runs.
+        """
+        self._last_result = RunResult.from_controller(self.controller)
+        return self._last_result
+
     # -- crash / recovery (docs/durability.md) ------------------------------------------
 
     def crash(self, at: Optional[float] = None,
@@ -611,6 +659,12 @@ class SafeHome:
     def last_result(self) -> Optional[RunResult]:
         """The :class:`RunResult` of the most recent :meth:`run`."""
         return self._last_result
+
+    @property
+    def initial(self) -> Optional[Dict[int, Any]]:
+        """The initial device snapshot anchoring congruence checks
+        (taken at workload load or first run/pump; ``None`` before)."""
+        return self._initial
 
     def report(self, check_final: bool = True,
                exhaustive_limit: int = 7) -> MetricsReport:

@@ -1,0 +1,41 @@
+"""Service mode: a long-running front door over live SafeHome hubs.
+
+Everything batch mode computes after the fact, service mode streams
+while it happens: routines arrive from concurrent tenants, a pacing
+driver bridges the virtual clock to wall time, admission control
+bounds and fair-shares the queues, and SLO metrics (rolling latency
+quantiles, saturation, abort rates) are readable at any moment over
+``repro serve --json-status`` or ``GET /status``.  See
+docs/serving.md.
+"""
+
+from repro.serve.admission import AdmissionControl, TenantState
+from repro.serve.hub import ServeConfig, ServeHub, Ticket
+from repro.serve.loadgen import (MENU_NAMES, SERVE_DEVICES, SERVE_MENU,
+                                 ThreadedClient, build_serve_home,
+                                 run_closed_loop)
+from repro.serve.pacing import RealTimeDriver, parse_speedup
+from repro.serve.slo import (QUANTILES, LatencyTracker, RollingWindow,
+                             quantile_summary)
+from repro.serve.statusd import StatusServer
+
+__all__ = [
+    "AdmissionControl",
+    "TenantState",
+    "ServeConfig",
+    "ServeHub",
+    "Ticket",
+    "MENU_NAMES",
+    "SERVE_DEVICES",
+    "SERVE_MENU",
+    "ThreadedClient",
+    "build_serve_home",
+    "run_closed_loop",
+    "RealTimeDriver",
+    "parse_speedup",
+    "QUANTILES",
+    "LatencyTracker",
+    "RollingWindow",
+    "quantile_summary",
+    "StatusServer",
+]

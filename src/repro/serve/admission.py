@@ -1,0 +1,167 @@
+"""Per-tenant admission queues with weighted fair dequeue.
+
+The front door between concurrent clients and the single-threaded
+simulator: every submission lands in its tenant's bounded FIFO queue,
+and the serve loop drains the queues into the controller with deficit
+round-robin — each drain round grants every backlogged tenant credit
+proportional to its weight, so under sustained skewed load admitted
+counts converge to the weight ratios regardless of who submits faster
+(pinned by the fairness tests in ``tests/test_serve.py``).
+
+Backpressure is 429-shaped: a full queue rejects the submission with a
+``retry_after_s`` hint that grows with the backlog the tenant would
+have to wait behind.  The structure itself is not thread-safe; the
+:class:`~repro.serve.hub.ServeHub` serializes access under its lock.
+"""
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import AdmissionRejected, ServeError
+
+
+class TenantState:
+    """One tenant's queue, weight, fair-dequeue credit and counters."""
+
+    __slots__ = ("name", "weight", "home", "queue", "credit",
+                 "offered", "admitted", "rejected", "dropped",
+                 "committed", "aborted", "max_depth")
+
+    def __init__(self, name: str, weight: int, home: str) -> None:
+        self.name = name
+        self.weight = weight
+        self.home = home
+        self.queue: Deque = deque()
+        self.credit = 0.0
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.dropped = 0
+        self.committed = 0
+        self.aborted = 0
+        self.max_depth = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue)
+
+
+class AdmissionControl:
+    """Bounded per-tenant queues + deficit-round-robin drain."""
+
+    def __init__(self, capacity: int = 64,
+                 retry_after_s: float = 0.05) -> None:
+        if capacity < 1:
+            raise ServeError(f"queue capacity must be >= 1, got {capacity}")
+        if retry_after_s <= 0:
+            raise ServeError("retry_after_s must be positive")
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        # Registration order is the (deterministic) drain order.
+        self._tenants: Dict[str, TenantState] = {}
+
+    # -- tenants ---------------------------------------------------------------
+
+    def register(self, name: str, weight: int = 1,
+                 home: str = "") -> TenantState:
+        if name in self._tenants:
+            raise ServeError(f"tenant {name!r} already registered")
+        if weight < 1:
+            raise ServeError(f"tenant weight must be >= 1, got {weight}")
+        tenant = TenantState(name, int(weight), home)
+        self._tenants[name] = tenant
+        return tenant
+
+    def tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            raise ServeError(f"unknown tenant {name!r}; register it first")
+        return state
+
+    def tenants(self) -> List[TenantState]:
+        return list(self._tenants.values())
+
+    # -- enqueue / dequeue -----------------------------------------------------
+
+    def offer(self, name: str, ticket) -> None:
+        """Enqueue one request, or reject it when the queue is full.
+
+        The rejection's ``retry_after_s`` scales with the backlog the
+        request would sit behind, discounted by the tenant's weight
+        (heavier tenants drain faster, so their hint is shorter).
+        """
+        state = self.tenant(name)
+        state.offered += 1
+        if len(state.queue) >= self.capacity:
+            state.rejected += 1
+            retry = self.retry_after_s * (len(state.queue) + 1) \
+                / state.weight
+            raise AdmissionRejected(
+                f"tenant {name!r} queue is full "
+                f"({len(state.queue)}/{self.capacity})",
+                tenant=name, retry_after_s=retry)
+        state.queue.append(ticket)
+        if len(state.queue) > state.max_depth:
+            state.max_depth = len(state.queue)
+
+    def drain(self, limit: int) -> List:
+        """Weighted fair dequeue of up to ``limit`` tickets.
+
+        Deficit round-robin: every round each backlogged tenant earns
+        ``weight`` credit and dequeues one ticket per whole credit, in
+        registration order — deterministic given queue contents, and
+        weight-proportional under saturation.
+        """
+        out: List = []
+        if limit < 1:
+            return out
+        order = list(self._tenants.values())
+        while len(out) < limit:
+            progressed = False
+            for state in order:
+                if not state.queue:
+                    # Classic DRR: an empty queue forfeits its credit,
+                    # so an idle tenant cannot hoard a burst allowance.
+                    state.credit = 0.0
+                    continue
+                state.credit += state.weight
+                while state.credit >= 1 and state.queue \
+                        and len(out) < limit:
+                    state.credit -= 1
+                    ticket = state.queue.popleft()
+                    state.admitted += 1
+                    out.append(ticket)
+                    progressed = True
+            if not progressed:
+                break
+        return out
+
+    def drop_all(self) -> List:
+        """Empty every queue (hard shutdown); returns dropped tickets."""
+        dropped: List = []
+        for state in self._tenants.values():
+            while state.queue:
+                ticket = state.queue.popleft()
+                state.dropped += 1
+                dropped.append(ticket)
+            state.credit = 0.0
+        return dropped
+
+    # -- gauges ----------------------------------------------------------------
+
+    def total_depth(self) -> int:
+        return sum(len(s.queue) for s in self._tenants.values())
+
+    def saturation(self) -> float:
+        """Fullest queue as a fraction of capacity (0.0 when idle)."""
+        if not self._tenants:
+            return 0.0
+        return max(len(s.queue) for s in self._tenants.values()) \
+            / self.capacity
+
+    def record_finish(self, name: str, committed: bool) -> None:
+        state = self.tenant(name)
+        if committed:
+            state.committed += 1
+        else:
+            state.aborted += 1

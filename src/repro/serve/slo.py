@@ -1,0 +1,94 @@
+"""Streaming SLO metrics for the served hub.
+
+Latency quantiles come from the same mergeable
+:class:`~repro.metrics.stats.FixedResolutionHistogram` the fleet's
+streaming aggregator uses, arranged as a ring of virtual-time buckets:
+a sample lands in the bucket covering its completion time, quantile
+queries merge the buckets still inside the rolling window, and buckets
+older than the window are evicted on insert.  Everything is keyed to
+the *virtual* clock, so the numbers are deterministic for a seeded run
+(wall-clock gauges live in a separate, explicitly non-deterministic
+section of the status payload).
+"""
+
+from typing import Dict, Optional
+
+from repro.errors import ServeError
+from repro.metrics.stats import FixedResolutionHistogram
+
+#: Quantiles surfaced by every latency summary, in output order.
+QUANTILES = (50, 95, 99)
+
+
+class RollingWindow:
+    """Rolling latency quantiles over the last ``window_s`` of virtual
+    time, bucketed into ``buckets`` mergeable sub-histograms."""
+
+    def __init__(self, window_s: float = 60.0, buckets: int = 6,
+                 resolution: float = 1e-3) -> None:
+        if window_s <= 0:
+            raise ServeError("window_s must be positive")
+        if buckets < 1:
+            raise ServeError("buckets must be >= 1")
+        self.window_s = window_s
+        self.buckets = buckets
+        self.resolution = resolution
+        self.span = window_s / buckets
+        self._ring: Dict[int, FixedResolutionHistogram] = {}
+
+    def _evict(self, index: int) -> None:
+        floor = index - self.buckets + 1
+        for stale in [k for k in self._ring if k < floor]:
+            del self._ring[stale]
+
+    def add(self, now_virtual: float, value: float) -> None:
+        index = int(now_virtual / self.span)
+        self._evict(index)
+        bucket = self._ring.get(index)
+        if bucket is None:
+            bucket = self._ring[index] = \
+                FixedResolutionHistogram(self.resolution)
+        bucket.add(value)
+
+    def merged(self, now_virtual: float) -> FixedResolutionHistogram:
+        """One histogram covering the window ending at ``now_virtual``."""
+        floor = int(now_virtual / self.span) - self.buckets + 1
+        merged = FixedResolutionHistogram(self.resolution)
+        for index in sorted(self._ring):
+            if index >= floor:
+                merged.merge(self._ring[index])
+        return merged
+
+    def snapshot(self, now_virtual: float) -> Dict[str, float]:
+        summary = quantile_summary(self.merged(now_virtual))
+        summary["window_s"] = self.window_s
+        return summary
+
+
+def quantile_summary(histogram: FixedResolutionHistogram
+                     ) -> Dict[str, float]:
+    """``{"n", "p50", "p95", "p99"}`` rounded for stable JSON."""
+    out: Dict[str, float] = {"n": histogram.count}
+    for q in QUANTILES:
+        out[f"p{q}"] = round(histogram.quantile(q), 6)
+    return out
+
+
+class LatencyTracker:
+    """Cumulative + rolling latency for one served hub."""
+
+    def __init__(self, window_s: float = 60.0, buckets: int = 6,
+                 resolution: float = 1e-3) -> None:
+        self.total = FixedResolutionHistogram(resolution)
+        self.window = RollingWindow(window_s, buckets, resolution)
+
+    def add(self, now_virtual: float, latency: float) -> None:
+        self.total.add(latency)
+        self.window.add(now_virtual, latency)
+
+    def snapshot(self, now_virtual: Optional[float] = None
+                 ) -> Dict[str, Dict[str, float]]:
+        out = {"total": quantile_summary(self.total)}
+        if now_virtual is not None:
+            out["window"] = self.window.snapshot(now_virtual)
+        return out

@@ -73,6 +73,14 @@ class Simulator:
     def pending_events(self) -> int:
         return len(self._queue)
 
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next pending event, ``None`` when idle.
+
+        Skips cancelled entries; used by real-time pacing to sleep
+        exactly until the next due event instead of busy-polling.
+        """
+        return self._queue.peek_time()
+
     def call_at(self, when: float, callback: Callable[..., Any],
                 *args: Any, label: str = "") -> Event:
         """Schedule ``callback(*args)`` at absolute time ``when``."""

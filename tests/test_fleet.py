@@ -407,3 +407,105 @@ class TestHomeFactoryResetEquivalence:
         finally:
             from repro.fleet.engine import BACKENDS
             BACKENDS.pop("legacy-test", None)
+
+
+class TestServedHomeRecycling:
+    """Long-lived homes: late failure plans and tenant-to-tenant reuse.
+
+    A served home's clock keeps running between phases, so failure
+    plans can be scripted after their nominal time has passed, and a
+    recycled home must carry nothing — timers, armed plans, streams —
+    from its previous tenant.
+    """
+
+    @staticmethod
+    def _home_with_lamp(seed=0):
+        home = SafeHome(visibility="ev", seed=seed)
+        home.add_device("light", "lamp")
+        home.register_routine_spec({
+            "routineName": "on",
+            "commands": [{"device": "lamp", "action": "ON",
+                          "durationSec": 1}]})
+        return home
+
+    def test_arm_clamps_past_failure_to_now(self):
+        home = self._home_with_lamp()
+        home.invoke("on")
+        home.run(until=5.0)
+        assert home.sim.now == 5.0
+        # Scripted "in the past" relative to the advanced clock: the
+        # device must be down immediately, not raise SimulationError.
+        home.plan_failure("lamp", fail_at=2.0, restart_at=3.0)
+        home.invoke("on", at=6.0)
+        result = home.run()
+        assert result is not None
+        device = home.registry.by_name("lamp")
+        assert not device.failed  # restart fired too (clamped to now)
+
+    def test_arm_clamp_preserves_fail_before_restart(self):
+        home = self._home_with_lamp()
+        home.run(until=10.0)
+        home.plan_failure("lamp", fail_at=1.0, restart_at=4.0)
+        fired = []
+        device = home.registry.by_name("lamp")
+        original_fail, original_restart = device.fail, device.restart
+        # Wrap before arm(): the injector captures the bound methods
+        # when it schedules the clamped events.
+        device.fail = lambda: (fired.append("fail"), original_fail())[1]
+        device.restart = lambda: (fired.append("restart"),
+                                  original_restart())[1]
+        home.injector.arm()
+        home.sim.run()
+        assert fired == ["fail", "restart"]
+        assert not device.failed
+
+    def test_arm_clamp_is_identity_for_future_plans(self):
+        def final_state(clamped_first):
+            home = self._home_with_lamp(seed=3)
+            if clamped_first:
+                home.run(until=0.0)   # arm once with nothing scripted
+            home.plan_failure("lamp", fail_at=2.0, restart_at=8.0)
+            home.invoke("on", at=1.0)
+            home.invoke("on", at=9.0)
+            result = home.run()
+            return [(run.routine.name, run.status.name,
+                     round(run.finish_time, 6)) for run in result.runs]
+
+        assert final_state(False) == final_state(True)
+
+    def test_reset_clears_timers_and_armed_plans_between_tenants(self):
+        home = self._home_with_lamp(seed=1)
+        home.plan_failure("lamp", fail_at=50.0, restart_at=60.0)
+        home.invoke("on")
+        home.run(until=2.0)           # failure timers still pending
+        assert home.sim.pending_events > 0
+        assert home.injector._armed == 1
+
+        home.reset(seed=2)
+        # Nothing survives into the next tenant's occupancy: no stale
+        # timers, no plans, no armed count, clock back at zero.
+        assert home.sim.pending_events == 0
+        assert home.sim.next_event_time() is None
+        assert home.injector.plans == []
+        assert home.injector._armed == 0
+        assert home.sim.now == 0.0
+
+        # And the recycled home behaves exactly like a fresh one.
+        home.add_device("light", "lamp")
+        home.register_routine_spec({
+            "routineName": "on",
+            "commands": [{"device": "lamp", "action": "ON",
+                          "durationSec": 1}]})
+        home.invoke("on")
+        recycled = home.run()
+
+        fresh = self._home_with_lamp(seed=2)
+        fresh.invoke("on")
+        baseline = fresh.run()
+        assert [(r.routine.name, r.status.name, r.finish_time)
+                for r in recycled.runs] == \
+            [(r.routine.name, r.status.name, r.finish_time)
+             for r in baseline.runs]
+        # The old tenant's failure never fires on the recycled home.
+        home.run(until=100.0)
+        assert not home.registry.by_name("lamp").failed
