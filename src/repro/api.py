@@ -1,0 +1,123 @@
+"""The stable public API facade.
+
+Eight PRs grew entry points across ``repro.hub``, ``repro.fleet``,
+``repro.serve`` and ``repro.workloads.synth``; this module is the one
+import users (and the docs examples) should reach for::
+
+    from repro.api import SafeHome, FleetEngine, FleetConfig, FleetPlan
+
+Everything exported here is covered by the API test
+(``tests/test_api.py``) and the docs doctests, and follows two rules:
+
+* **keyword-only construction** — ``SafeHome(visibility="ev")``, never
+  ``SafeHome("ev")``.  Positional arguments still work (old call sites
+  keep running) but emit a pinned :class:`DeprecationWarning`;
+* **plan round-trips** — configuration objects serialize through
+  ``to_plan()`` / ``from_plan()`` dicts (and :class:`FleetPlan`
+  documents the full ``repro-fleet-plan/1`` schema), so every run is
+  reproducible from a JSON artifact.
+"""
+
+import warnings
+
+from repro.fleet.control.loop import (ControlLoop, ControlResult,
+                                      apply_plan)
+from repro.fleet.control.opslog import OpsLog
+from repro.fleet.control.plan import FleetPlan as _FleetPlan
+from repro.fleet.control.plan import (CanarySpec, Cohort, MigrationStep,
+                                      load_plan)
+from repro.fleet.control.program import SupervisionPolicy
+from repro.fleet.engine import FleetConfig, FleetResult
+from repro.fleet.engine import FleetEngine as _FleetEngine
+from repro.fleet.sharding import HomeSpec
+from repro.hub.durability.recovery import DurabilityConfig
+from repro.hub.migration import MigrationReport
+from repro.hub.safehome import SafeHome as _SafeHome
+from repro.serve.hub import ServeConfig
+from repro.serve.hub import ServeHub as _ServeHub
+from repro.workloads.synth.spec import SynthSpec as _SynthSpec
+
+#: The pinned deprecation text (tests/test_api.py matches it verbatim).
+POSITIONAL_DEPRECATION = (
+    "positional arguments to repro.api constructors are deprecated; "
+    "pass keyword arguments")
+
+
+def _warn_positional(name: str, args: tuple) -> None:
+    if args:
+        warnings.warn(f"{name}: {POSITIONAL_DEPRECATION}",
+                      DeprecationWarning, stacklevel=3)
+
+
+class SafeHome(_SafeHome):
+    """:class:`repro.hub.safehome.SafeHome` with keyword-only
+    construction: ``SafeHome(visibility="ev", durability=True)``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        _warn_positional("SafeHome", args)
+        super().__init__(*args, **kwargs)
+
+
+class FleetEngine(_FleetEngine):
+    """:class:`repro.fleet.engine.FleetEngine` with keyword-only
+    construction: ``FleetEngine(config=FleetConfig(homes=100))``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        _warn_positional("FleetEngine", args)
+        super().__init__(*args, **kwargs)
+
+
+class ServeHub(_ServeHub):
+    """:class:`repro.serve.hub.ServeHub` with keyword-only
+    construction: ``ServeHub(homes={"home-0": home})``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        _warn_positional("ServeHub", args)
+        super().__init__(*args, **kwargs)
+
+
+class SynthSpec(_SynthSpec):
+    """:class:`repro.workloads.synth.spec.SynthSpec` with keyword-only
+    construction: ``SynthSpec(seed=7, devices=6)``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        _warn_positional("SynthSpec", args)
+        super().__init__(*args, **kwargs)
+
+
+class FleetPlan(_FleetPlan):
+    """:class:`repro.fleet.control.plan.FleetPlan` with keyword-only
+    construction: ``FleetPlan(fleet={"homes": 100, "seed": 42})``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        _warn_positional("FleetPlan", args)
+        super().__init__(*args, **kwargs)
+
+
+__all__ = [
+    # facades (keyword-only constructors)
+    "SafeHome",
+    "FleetEngine",
+    "ServeHub",
+    "SynthSpec",
+    "FleetPlan",
+    # plan-round-trip config objects
+    "FleetConfig",
+    "FleetResult",
+    "HomeSpec",
+    "DurabilityConfig",
+    "ServeConfig",
+    # control plane
+    "ControlLoop",
+    "ControlResult",
+    "OpsLog",
+    "Cohort",
+    "MigrationStep",
+    "CanarySpec",
+    "SupervisionPolicy",
+    "MigrationReport",
+    "load_plan",
+    "apply_plan",
+    # deprecation contract
+    "POSITIONAL_DEPRECATION",
+]

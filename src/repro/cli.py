@@ -11,7 +11,15 @@ Commands:
 * ``ablations`` — run the design-choice ablation sweeps.
 * ``fleet --homes N --seed S`` — simulate a fleet of N independent
   homes across a worker pool and print deterministic aggregate
-  metrics JSON (see :mod:`repro.fleet`).
+  metrics JSON (see :mod:`repro.fleet`); ``--plan fleet.json`` loads
+  settings from a plan file (flags override), ``--dump-plan`` prints
+  the effective plan.
+* ``fleet-ops apply --plan plan.json`` — drive the fleet control
+  plane from a versioned ``repro-fleet-plan/1`` file: cohort
+  assignment, live visibility-model migration, supervised restarts
+  under hub-crash chaos, canary comparison with auto-rollback, all
+  journaled to a deterministic ops log (``fleet-ops status`` reads it
+  back; see docs/control-plane.md).
 * ``crash-recovery`` — run the hub-crash chaos workload on a durable
   hub: crash at seeded points (or ``--crash-at`` / ``--crash-event``),
   recover from checkpoint + WAL, and compare the final report against
@@ -153,33 +161,80 @@ def cmd_run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import FleetConfig, FleetEngine
-    from repro.workloads.fleet_mix import DEFAULT_MIX
+def _fleet_plan_section(path: str) -> Dict[str, object]:
+    """The ``fleet`` section of a plan file.
 
-    raw_workers = str(args.workers).strip().lower()
-    if raw_workers == "auto":
-        workers = 0              # 0 = one per CPU (capped at homes)
-    else:
-        try:
-            workers = int(raw_workers)
-        except ValueError:
-            print(f"--workers must be an integer or 'auto', got "
-                  f"{args.workers!r}", file=sys.stderr)
-            return 2
-    config = FleetConfig(
-        homes=args.homes, seed=args.seed, scenario=args.scenario,
-        mix=tuple(args.mix.split(",")) if args.mix else DEFAULT_MIX,
-        model=args.model, scheduler=args.scheduler,
-        execution=args.execution,
-        backend=args.backend, workers=workers,
-        chunk=args.chunk,
-        aggregate="exact" if args.exact else args.aggregate,
-        check_final=not args.no_check_final,
-        crashes=args.crashes, recovery=args.recovery,
-        transport=args.transport, pin=args.pin, wal_dir=args.wal_dir)
+    Accepts either a full ``repro-fleet-plan/1`` document (validated
+    through :class:`~repro.fleet.control.plan.FleetPlan`) or a bare
+    fleet dict such as ``{"homes": 100, "seed": 42}``.
+    """
+    import json
+
+    from repro.errors import PlanError
+    from repro.fleet.control.plan import FleetPlan
+
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise PlanError(f"{path}: plan must be a JSON object")
+    if "version" in data or "fleet" in data:
+        return FleetPlan.from_dict(data).fleet
+    return data
+
+
+def _fleet_overrides(args: argparse.Namespace) -> Dict[str, object]:
+    """The FleetConfig fields the user set explicitly on the CLI.
+
+    Every fleet flag defaults to ``None`` (unset), so the effective
+    config layers dataclass defaults <- ``--plan`` <- explicit flags.
+    """
+    from repro.errors import PlanError
+
+    overrides: Dict[str, object] = {}
+    for flag in ("homes", "seed", "scenario", "model", "scheduler",
+                 "execution", "backend", "chunk", "aggregate",
+                 "crashes", "recovery", "transport", "pin", "wal_dir"):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[flag] = value
+    if args.mix:
+        overrides["mix"] = tuple(args.mix.split(","))
+    if args.workers is not None:
+        raw = str(args.workers).strip().lower()
+        if raw == "auto":
+            overrides["workers"] = 0   # 0 = one per CPU (capped at homes)
+        else:
+            try:
+                overrides["workers"] = int(raw)
+            except ValueError:
+                raise PlanError(f"--workers must be an integer or "
+                                f"'auto', got {args.workers!r}")
+    if args.exact:
+        overrides["aggregate"] = "exact"
+    if args.no_check_final:
+        overrides["check_final"] = False
+    return overrides
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import PlanError
+    from repro.fleet import FleetConfig, FleetEngine
+
     try:
-        result = FleetEngine(config).run()
+        fleet = _fleet_plan_section(args.plan) if args.plan else {}
+        config = FleetConfig.from_plan(fleet, **_fleet_overrides(args))
+    except (PlanError, OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.dump_plan:
+        sys.stdout.write(json.dumps(config.to_plan(), sort_keys=True,
+                                    indent=2) + "\n")
+        return 0
+    try:
+        engine = FleetEngine(config)
+        result = engine.run()
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -193,7 +248,60 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               f"{result.elapsed_s:.2f}s wall "
               f"({result.homes_per_second:.1f} homes/sec, "
               f"backend={config.backend}, "
-              f"workers={config.effective_workers()})", file=sys.stderr)
+              f"workers={engine.pool_workers()})", file=sys.stderr)
+    return 0
+
+
+def cmd_fleet_ops_apply(args: argparse.Namespace) -> int:
+    from repro.errors import PlanError
+    from repro.fleet.control import ControlLoop, load_plan
+
+    try:
+        plan = load_plan(args.plan)
+        result = ControlLoop(plan).run()
+    except (PlanError, OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.ops_log:
+        result.ops.save(args.ops_log)
+    text = result.to_json(per_home=args.per_home) + "\n"
+    sys.stdout.write(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    restarts = sum(row.get("restarts", 0) for row in result.rows)
+    print(f"applied {args.plan}: {len(result.rows)} homes, "
+          f"{len(result.migrated_homes)} migrated, "
+          f"{restarts} restarts, rolled_back={result.rolled_back}, "
+          f"{len(result.ops)} ops journaled", file=sys.stderr)
+    if not result.ok:
+        print(f"FAIL: {len(result.failed_homes)} abandoned home(s), "
+              f"{result.oracle_violations} congruence-oracle "
+              f"violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fleet_ops_status(args: argparse.Namespace) -> int:
+    from repro.fleet.control import OpsLog
+
+    try:
+        log = OpsLog.load(args.ops_log)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    counts = log.counts()
+    print_table(f"ops log: {args.ops_log} ({len(log)} entries)",
+                [{"op": op, "count": counts[op]} for op in sorted(counts)])
+    for entry in log:
+        if entry.get("op") == "complete":
+            print(f"complete: homes={entry.get('homes')} "
+                  f"migrated={entry.get('migrated')} "
+                  f"restarts={entry.get('restarts')} "
+                  f"failed={len(entry.get('failed', []))} "
+                  f"oracle_ok={entry.get('oracle_ok')} "
+                  f"rolled_back={entry.get('rolled_back')}",
+                  file=sys.stderr)
     return 0
 
 
@@ -579,33 +687,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet = sub.add_parser(
         "fleet", help="simulate N independent homes concurrently")
-    fleet.add_argument("--homes", type=int, default=10,
+    fleet.add_argument("--plan", default="",
+                       help="load fleet settings from this JSON file — a "
+                            "full repro-fleet-plan/1 document (its "
+                            "'fleet' section is used) or a bare fleet "
+                            "dict; explicit flags override the plan")
+    fleet.add_argument("--dump-plan", action="store_true",
+                       help="print the effective fleet plan JSON "
+                            "(defaults <- --plan <- flags) and exit")
+    fleet.add_argument("--homes", type=int, default=None,
                        help="fleet size (default: 10)")
-    fleet.add_argument("--seed", type=int, default=0,
+    fleet.add_argument("--seed", type=int, default=None,
                        help="master seed, split per home (default: 0)")
-    fleet.add_argument("--scenario", default="mix",
+    fleet.add_argument("--scenario", default=None,
                        help="'mix' or one fleet scenario name "
                             "(default: mix)")
     fleet.add_argument("--mix", default="",
                        help="comma-separated scenario cycle for "
                             "--scenario mix")
-    fleet.add_argument("--model", default="ev")
-    fleet.add_argument("--scheduler", default="timeline")
-    fleet.add_argument("--execution", default="serial",
+    fleet.add_argument("--model", default=None,
+                       help="visibility model (default: ev)")
+    fleet.add_argument("--scheduler", default=None,
+                       help="scheduler (default: timeline)")
+    fleet.add_argument("--execution", default=None,
                        choices=("serial", "parallel"),
                        help="per-home command-plan strategy "
                             "(default: serial)")
-    fleet.add_argument("--backend", default="serial",
+    fleet.add_argument("--backend", default=None,
                        choices=("serial", "thread", "process"),
                        help="worker pool type (default: serial)")
-    fleet.add_argument("--workers", default="0",
+    fleet.add_argument("--workers", default=None,
                        help="pool size; 0 or 'auto' = one per CPU "
                             "(default: 0)")
-    fleet.add_argument("--chunk", type=int, default=0,
+    fleet.add_argument("--chunk", type=int, default=None,
                        help="homes per dispatch chunk; 0 = homes/workers "
                             "rounded up (amortizes IPC; smaller chunks "
                             "stream better)")
-    fleet.add_argument("--aggregate", default="exact",
+    fleet.add_argument("--aggregate", default=None,
                        choices=("exact", "stream"),
                        help="'exact' pools raw latency samples in the "
                             "parent (byte-stable default); 'stream' "
@@ -614,27 +732,27 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--exact", action="store_true",
                        help="force exact pooled-percentile aggregation "
                             "(the default; overrides --aggregate)")
-    fleet.add_argument("--transport", default="pickle",
+    fleet.add_argument("--transport", default=None,
                        choices=("pickle", "shm"),
                        help="how streaming partials reach the parent: "
                             "'pickle' through the pool result channel, "
                             "'shm' struct-packed into preallocated "
                             "shared-memory slabs (needs --aggregate "
                             "stream)")
-    fleet.add_argument("--pin", default="none",
+    fleet.add_argument("--pin", default=None,
                        choices=("none", "spread"),
                        help="CPU affinity for process workers: 'spread' "
                             "pins one worker per CPU round-robin; no-op "
                             "where unsupported (default: none)")
-    fleet.add_argument("--wal-dir", default="",
+    fleet.add_argument("--wal-dir", default=None,
                        help="spool per-home WALs to worker-local segment "
                             "files in this directory and merge them into "
                             "an indexed fleet-wal.jsonl (forces durable "
                             "homes)")
-    fleet.add_argument("--crashes", type=int, default=0,
+    fleet.add_argument("--crashes", type=int, default=None,
                        help="hub crashes per home at seeded times "
                             "(default: 0 = no chaos)")
-    fleet.add_argument("--recovery", default="replay",
+    fleet.add_argument("--recovery", default=None,
                        choices=("replay", "policy"),
                        help="hub recovery mode when --crashes > 0")
     fleet.add_argument("--per-home", action="store_true",
@@ -646,6 +764,35 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--stats", action="store_true",
                        help="print wall-clock homes/sec to stderr")
     fleet.set_defaults(func=cmd_fleet)
+
+    fleet_ops = sub.add_parser(
+        "fleet-ops",
+        help="fleet control plane: apply versioned plans (live "
+             "migration, supervision, canaries) and inspect ops logs")
+    ops_sub = fleet_ops.add_subparsers(dest="ops_command", required=True)
+
+    ops_apply = ops_sub.add_parser(
+        "apply",
+        help="execute a repro-fleet-plan/1 file through the control "
+             "loop; exit 1 on oracle violations or abandoned homes")
+    ops_apply.add_argument("--plan", required=True,
+                           help="repro-fleet-plan/1 JSON file "
+                                "(the only way to drive fleet ops)")
+    ops_apply.add_argument("--ops-log", default="",
+                           help="write the deterministic JSONL ops "
+                                "journal to this path (the CI control "
+                                "gate cmp's two runs)")
+    ops_apply.add_argument("--json", default="",
+                           help="also write the result JSON to this path")
+    ops_apply.add_argument("--per-home", action="store_true",
+                           help="include per-home rows in the JSON")
+    ops_apply.set_defaults(func=cmd_fleet_ops_apply)
+
+    ops_status = ops_sub.add_parser(
+        "status", help="summarize a saved ops log")
+    ops_status.add_argument("--ops-log", required=True,
+                            help="JSONL ops journal written by apply")
+    ops_status.set_defaults(func=cmd_fleet_ops_status)
 
     serve = sub.add_parser(
         "serve",

@@ -37,6 +37,18 @@ class RecoveryError(SafeHomeError):
     """Hub recovery failed (replay diverged from the write-ahead log)."""
 
 
+class MigrationError(SafeHomeError):
+    """A live visibility-model migration failed mid-replay.
+
+    The hub is left crashed with its pre-migration WAL intact for
+    post-mortem; a fleet supervisor treats the home as failed.
+    """
+
+
+class PlanError(SafeHomeError):
+    """A versioned fleet plan is malformed (schema violation)."""
+
+
 class ServeError(SafeHomeError):
     """Service-mode hub misuse (bad pacing config, unknown tenant, ...)."""
 

@@ -38,6 +38,13 @@ from repro.fleet.spool import (load_spooled_home, merge_spool,
                                replay_spooled_home)
 from repro.fleet.worker import HomeFactory, run_home, run_shard
 
+# The control plane imports the engine, so it must come last here.
+from repro.fleet.control import (CanarySpec, Cohort, ControlLoop,
+                                 ControlProgram, ControlResult, FleetPlan,
+                                 HomeDirective, MigrationStep, OpsLog,
+                                 SupervisionPolicy, apply_plan,
+                                 assign_cohorts, load_plan)
+
 __all__ = [
     "FleetConfig",
     "FleetEngine",
@@ -70,4 +77,17 @@ __all__ = [
     "merge_spool",
     "load_spooled_home",
     "replay_spooled_home",
+    "FleetPlan",
+    "Cohort",
+    "MigrationStep",
+    "CanarySpec",
+    "SupervisionPolicy",
+    "HomeDirective",
+    "ControlProgram",
+    "ControlLoop",
+    "ControlResult",
+    "OpsLog",
+    "assign_cohorts",
+    "load_plan",
+    "apply_plan",
 ]

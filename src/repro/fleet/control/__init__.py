@@ -1,0 +1,46 @@
+"""The fleet control plane: mass-ops on top of the durable hub.
+
+A production fleet is never restarted wholesale (ROADMAP item 2).
+This package drives three operations over a running fleet, all of them
+behind one versioned, schema-validated config:
+
+* **live migration** — flip a cohort's visibility model (e.g. WV → EV)
+  at a checkpoint boundary mid-run via
+  :meth:`~repro.hub.safehome.SafeHome.migrate`;
+* **supervision** — per-home health probes and auto-restart with
+  bounded backoff, with the hub-crash chaos injector as the fault
+  source and ``recover()`` honoring each model's restart semantics;
+* **canary cohorts** — run a config change on a seeded subset of
+  homes, compare congruence/abort/SLO metrics against the stable
+  cohort, and auto-rollback on regression.
+
+A :class:`FleetPlan` (``repro-fleet-plan/1`` JSON) is the only way to
+drive these ops; the :class:`ControlLoop` executes it step by step and
+journals everything it does into a deterministic, replayable
+:class:`OpsLog`.  See docs/control-plane.md.
+"""
+
+from repro.fleet.control.opslog import OpsLog
+from repro.fleet.control.plan import (PLAN_VERSION, CanarySpec, Cohort,
+                                      FleetPlan, MigrationStep,
+                                      assign_cohorts, load_plan)
+from repro.fleet.control.program import (ControlProgram, HomeDirective,
+                                         SupervisionPolicy)
+from repro.fleet.control.loop import ControlLoop, ControlResult, apply_plan
+
+__all__ = [
+    "PLAN_VERSION",
+    "FleetPlan",
+    "Cohort",
+    "MigrationStep",
+    "CanarySpec",
+    "SupervisionPolicy",
+    "HomeDirective",
+    "ControlProgram",
+    "ControlLoop",
+    "ControlResult",
+    "OpsLog",
+    "assign_cohorts",
+    "load_plan",
+    "apply_plan",
+]

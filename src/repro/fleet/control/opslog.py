@@ -1,0 +1,68 @@
+"""The control loop's journaled ops log.
+
+Every step the :class:`~repro.fleet.control.loop.ControlLoop` takes —
+plan loaded, cohorts assigned, pools spawned, per-home supervision and
+migration events, canary verdicts, rollbacks — lands here as one JSON
+object with a centrally assigned sequence number.  The log is
+**deterministic**: no wall-clock timestamps, no pids, no paths; two
+runs of the same plan produce byte-identical JSONL (the CI ``control``
+job ``cmp``s them), which makes an ops log *replayable* evidence of
+what the fleet did.
+"""
+
+import json
+from typing import Any, Dict, Iterator, List
+
+
+class OpsLog:
+    """An append-only, deterministic journal of control-plane steps."""
+
+    def __init__(self) -> None:
+        self.entries: List[Dict[str, Any]] = []
+
+    def record(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Append one entry; ``seq`` is assigned here, centrally."""
+        entry: Dict[str, Any] = {"seq": len(self.entries), "op": op}
+        entry.update(fields)
+        self.entries.append(entry)
+        return entry
+
+    def extend(self, ops: List[Dict[str, Any]]) -> None:
+        """Fold worker-side op dicts in, re-sequencing centrally."""
+        for op in ops:
+            fields = {k: v for k, v in op.items()
+                      if k not in ("op", "seq")}
+            self.record(op["op"], **fields)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.entries)
+
+    def counts(self) -> Dict[str, int]:
+        """Entry counts by op type."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry["op"]] = counts.get(entry["op"], 0) + 1
+        return counts
+
+    # -- serialization (JSONL: one op per line, sorted keys) ---------------
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(entry, sort_keys=True) + "\n"
+                       for entry in self.entries)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    @classmethod
+    def load(cls, path: str) -> "OpsLog":
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    log.entries.append(json.loads(line))
+        return log

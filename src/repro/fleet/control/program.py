@@ -1,0 +1,81 @@
+"""The compiled form of a fleet plan: per-home marching orders.
+
+A :class:`ControlProgram` is what the :class:`~repro.fleet.control.
+loop.ControlLoop` broadcasts to the worker pool (inside the
+:class:`~repro.fleet.pool.WorkerContext`): a flat tuple of
+:class:`HomeDirective` records — one per home that needs controlled
+execution — plus the fleet-wide :class:`SupervisionPolicy`.  Everything
+here is a small frozen dataclass so the program pickles cheaply into
+process workers and is hash-stable for the ops journal.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the supervisor restarts crashed homes.
+
+    Backoff is *virtual*: the supervisor journals the delay it would
+    apply (``min(cap, base * factor**(attempt-1))``) instead of
+    sleeping, which keeps the control loop deterministic and fast while
+    still exercising — and testing — the storm-damping schedule.
+    """
+
+    #: Give up on a home after this many restarts (it is reported as
+    #: ``failed`` and excluded from cohort aggregates).
+    max_restarts: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 8.0
+    #: Recovery mode handed to ``SafeHome.recover`` ("replay" resumes
+    #: everything; "policy" lets each visibility model decide).
+    recovery: str = "replay"
+
+    def backoff_s(self, attempt: int) -> float:
+        """The journaled delay before restart ``attempt`` (1-based)."""
+        delay = self.backoff_base_s * (self.backoff_factor
+                                       ** max(0, attempt - 1))
+        return round(min(self.backoff_cap_s, delay), 6)
+
+
+@dataclass(frozen=True)
+class HomeDirective:
+    """One home's resolved orders: cohort settings plus its migration
+    step (``migrate_to == ""`` means no migration)."""
+
+    home_id: int
+    cohort: str
+    model: str
+    scheduler: str
+    execution: str
+    crashes: int
+    recovery: str
+    migrate_to: str = ""
+    migrate_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class ControlProgram:
+    """Every directive of one control-loop spawn, keyed by home id."""
+
+    directives: Tuple[HomeDirective, ...]
+    supervision: SupervisionPolicy = field(default_factory=SupervisionPolicy)
+
+    def directive_for(self, home_id: int) -> Optional[HomeDirective]:
+        index = self.__dict__.get("_by_home")
+        if index is None:
+            index = {d.home_id: d for d in self.directives}
+            # Frozen dataclasses still carry __dict__; memoize the
+            # lookup table there (rebuilt lazily after unpickling).
+            object.__setattr__(self, "_by_home", index)
+        return index.get(home_id)
+
+    def __getstate__(self) -> Dict:
+        return {"directives": self.directives,
+                "supervision": self.supervision}
+
+    def __setstate__(self, state: Dict) -> None:
+        object.__setattr__(self, "directives", state["directives"])
+        object.__setattr__(self, "supervision", state["supervision"])

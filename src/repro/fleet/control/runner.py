@@ -1,0 +1,193 @@
+"""Worker-side controlled execution: supervise + migrate one home.
+
+The control loop's counterpart of :func:`repro.fleet.worker.run_home`.
+A controlled home owns a full hub lifecycle: the seed-derived hub-crash
+chaos schedule (the fault source, same draw as plain durable fleets),
+supervised restarts with bounded (journaled, virtual) backoff, an
+optional live model migration at its directive's virtual time, and a
+closing congruence-oracle pass.  Everything the supervisor does lands
+in the row's ``ops`` list — plain JSON, no wall clock — which the
+parent :class:`~repro.fleet.control.loop.ControlLoop` folds into the
+deterministic ops journal.
+"""
+
+import dataclasses
+from typing import Any, Dict, List
+
+from repro.errors import MigrationError, RecoveryError
+from repro.fleet.sharding import HomeSpec
+from repro.fleet.control.program import HomeDirective, SupervisionPolicy
+from repro.fleet.worker import _CRASH_HORIZON_S, _crash_times, home_row
+from repro.hub.safehome import SafeHome
+from repro.metrics.oracle import check_run
+from repro.workloads.fleet_mix import build_fleet_workload
+
+
+class _Abandoned(Exception):
+    """Internal: the supervisor gave up on this home."""
+
+
+def _now(home: SafeHome) -> float:
+    return round(home.sim.now, 6)
+
+
+def _heal(home: SafeHome, policy: SupervisionPolicy, spec: HomeSpec,
+          ops: List[Dict[str, Any]], restarts: int) -> int:
+    """Restart a crashed home until healthy or out of budget.
+
+    Each attempt journals the virtual backoff the supervisor applies
+    (storm damping) and the post-restart health probe.  Returns the
+    updated total restart count; raises :class:`_Abandoned` when the
+    budget is exhausted.
+    """
+    while home.crashed:
+        restarts += 1
+        if restarts > policy.max_restarts:
+            ops.append({"op": "abandon", "home": spec.home_id,
+                        "t": _now(home), "restarts": restarts - 1})
+            raise _Abandoned(
+                f"restart budget exhausted ({policy.max_restarts})")
+        ops.append({"op": "restart", "home": spec.home_id,
+                    "t": _now(home), "attempt": restarts,
+                    "backoff_s": policy.backoff_s(restarts),
+                    "mode": policy.recovery})
+        try:
+            report = home.recover(mode=policy.recovery)
+        except RecoveryError as exc:
+            # recover() left the hub crashed with its WAL intact, so
+            # the next attempt retries deterministically (and, being
+            # deterministic, fails the same way until the budget runs
+            # out — exactly what the abandon path is for).
+            ops.append({"op": "restart-failed", "home": spec.home_id,
+                        "t": _now(home), "attempt": restarts,
+                        "error": str(exc)})
+            continue
+        ops.append({"op": "probe", "home": spec.home_id,
+                    "t": _now(home), "healthy": not home.crashed,
+                    "replayed_events": report.replayed_events,
+                    "aborted": len(report.aborted)})
+    return restarts
+
+
+def _failed_row(spec: HomeSpec, reason: str) -> Dict[str, Any]:
+    """A zeroed row for an abandoned home (excluded from aggregates)."""
+    return {
+        "home_id": spec.home_id,
+        "scenario": spec.scenario,
+        "model": spec.model,
+        "seed": spec.seed,
+        "routines": 0,
+        "committed": 0,
+        "aborted": 0,
+        "abort_rate": 0.0,
+        "latencies": [],
+        "lat_p50": 0.0,
+        "lat_p95": 0.0,
+        "temporary_incongruence": 0.0,
+        "final_congruent": None,
+        "makespan": 0.0,
+        "failed": reason,
+    }
+
+
+def run_controlled_home(spec: HomeSpec, directive: HomeDirective,
+                        policy: SupervisionPolicy) -> Dict[str, Any]:
+    """Run one home under the control plane; return its metrics row.
+
+    The timeline interleaves the spec's seed-derived crash schedule
+    with the directive's migration step in virtual-time order.  Crashes
+    are healed by :func:`_heal`; an unfired crash (the queue drained
+    first) is cancelled before migrating so the replayed history stays
+    crash-free past that point.  The row carries ``cohort``,
+    ``restarts``, ``migrated``, the oracle verdict and the ``ops``
+    journal on top of the standard fleet columns.
+    """
+    # The directive carries the home's *resolved* cohort settings;
+    # they override whatever fleet-wide values the spec arrived with.
+    spec = dataclasses.replace(
+        spec, model=directive.model, scheduler=directive.scheduler,
+        execution=directive.execution, crashes=directive.crashes,
+        recovery=directive.recovery)
+    workload = build_fleet_workload(spec.scenario, seed=spec.seed)
+    durable = bool(spec.crashes) or bool(directive.migrate_to)
+    home = SafeHome(visibility=spec.model, scheduler=spec.scheduler,
+                    execution=spec.execution, seed=spec.seed,
+                    durability=durable)
+    home.load_workload(workload)
+
+    horizon = workload.horizon_hint or _CRASH_HORIZON_S
+    # Ties order crashes before the migration step ("crash" < "migrate").
+    events = [(t, "crash") for t in _crash_times(spec, horizon)]
+    if directive.migrate_to:
+        events.append((directive.migrate_at, "migrate"))
+    events.sort()
+
+    ops: List[Dict[str, Any]] = []
+    restarts = 0
+    crashes_fired = 0
+    replayed_events = 0
+    recovery_aborted = 0
+    migrated = False
+    drained = False
+    failed = ""
+    try:
+        for at, kind in events:
+            if kind == "crash":
+                if drained:
+                    # An earlier (smaller) crash time never fired: the
+                    # queue is gone, later times cannot fire either.
+                    continue
+                home.crash(at=at)
+                home.run(max_events=spec.max_events)
+                if not home.crashed:
+                    drained = True
+                    continue
+                crashes_fired += 1
+                ops.append({"op": "crash", "home": spec.home_id,
+                            "t": _now(home)})
+                before = len(home.recoveries)
+                restarts = _heal(home, policy, spec, ops, restarts)
+                for report in home.recoveries[before:]:
+                    replayed_events += report.replayed_events
+                    recovery_aborted += len(report.aborted)
+            else:
+                home.run(until=at, max_events=spec.max_events)
+                if home.crashed:       # pragma: no cover - defensive
+                    restarts = _heal(home, policy, spec, ops, restarts)
+                # A scheduled-but-unfired crash would replay as pending
+                # under the target model; withdraw it first.
+                home.cancel_crash()
+                report = home.migrate(directive.migrate_to)
+                migrated = True
+                ops.append({"op": "migrate", "home": spec.home_id,
+                            **report.row()})
+    except _Abandoned as exc:
+        failed = str(exc)
+    except MigrationError as exc:
+        failed = f"migration failed: {exc}"
+        ops.append({"op": "abandon", "home": spec.home_id,
+                    "t": _now(home), "error": str(exc)})
+
+    if failed:
+        row = _failed_row(spec, failed)
+        row["oracle_ok"] = False
+        row["oracle_violations"] = []
+    else:
+        result = home.run(max_events=spec.max_events)
+        report = home.report(check_final=spec.check_final,
+                             exhaustive_limit=spec.exhaustive_limit)
+        row = home_row(spec, result, report)
+        oracle = check_run(result, home.initial,
+                           exhaustive_limit=spec.exhaustive_limit)
+        row["oracle_ok"] = oracle.ok
+        row["oracle_violations"] = [v.to_dict()
+                                    for v in oracle.violations]
+    row["cohort"] = directive.cohort
+    row["restarts"] = restarts
+    row["migrated"] = directive.migrate_to if migrated else ""
+    if durable:
+        row["hub_crashes"] = crashes_fired
+        row["hub_replayed_events"] = replayed_events
+        row["hub_recovery_aborted"] = recovery_aborted
+    row["ops"] = ops
+    return row

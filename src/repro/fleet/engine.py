@@ -26,8 +26,8 @@ import json
 import os
 import shutil
 import tempfile
-from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.fleet import shm as _shm
 from repro.fleet.affinity import PIN_MODES
@@ -122,6 +122,71 @@ class FleetConfig:
         if self.chunk:
             return max(1, min(self.chunk, self.homes))
         return default_chunk_size(self.homes, self.effective_workers())
+
+    # -- plan round-trip (repro-fleet-plan/1, docs/control-plane.md) --------
+
+    @classmethod
+    def from_plan(cls, fleet: Mapping[str, Any],
+                  **overrides: Any) -> "FleetConfig":
+        """Build a config from a plan's ``fleet`` section.
+
+        Keyword ``overrides`` are layered on top (the CLI's
+        flags-beat-plan rule).  Unknown keys raise
+        :class:`~repro.errors.PlanError`; ``homes`` defaults to 10 when
+        neither source names it.  ``mix`` accepts a JSON list.
+        """
+        from repro.errors import PlanError
+
+        valid = {f.name for f in fields(cls)}
+        merged: Dict[str, Any] = dict(fleet)
+        merged.update(overrides)
+        unknown = set(merged) - valid
+        if unknown:
+            raise PlanError(
+                f"unknown fleet config keys {sorted(unknown)}; "
+                f"valid keys: {sorted(valid)}")
+        if "mix" in merged:
+            mix = merged["mix"]
+            if not isinstance(mix, (list, tuple)) or \
+                    not all(isinstance(name, str) for name in mix):
+                raise PlanError("'mix' must be a list of scenario names")
+            merged["mix"] = tuple(mix)
+        merged.setdefault("homes", 10)
+        try:
+            config = cls(**merged)
+        except (TypeError, ValueError) as exc:
+            raise PlanError(f"bad fleet config: {exc}") from None
+        # Schema validation: every enumerable field must hold a known
+        # value *now*, not fail deep inside a worker pool later.
+        from repro.core.visibility import VisibilityModel
+        from repro.hub.durability.recovery import RECOVERY_MODES
+
+        for key, value, allowed in (
+                ("backend", config.backend,
+                 sorted(set(POOLS) | set(BACKENDS))),
+                ("aggregate", config.aggregate, sorted(AGGREGATE_MODES)),
+                ("transport", config.transport,
+                 sorted(_shm.TRANSPORTS)),
+                ("pin", config.pin, sorted(PIN_MODES)),
+                ("recovery", config.recovery, sorted(RECOVERY_MODES))):
+            if value not in allowed:
+                raise PlanError(f"bad fleet config: {key}={value!r} "
+                                f"(pick from {allowed})")
+        try:
+            VisibilityModel.parse(config.model)
+        except ValueError as exc:
+            raise PlanError(f"bad fleet config: {exc}") from None
+        return config
+
+    def to_plan(self) -> Dict[str, Any]:
+        """This config as a plan ``fleet`` section (JSON-ready).
+
+        The exact inverse of :meth:`from_plan`:
+        ``FleetConfig.from_plan(config.to_plan()) == config``.
+        """
+        payload = asdict(self)
+        payload["mix"] = list(self.mix)
+        return payload
 
 
 @dataclass
@@ -234,6 +299,21 @@ class FleetEngine:
             transport=config.transport, wal_dir=config.wal_dir,
             pin=config.pin, profile_dir=config.profile_dir)
 
+    def pool_workers(self, chunk_count: Optional[int] = None) -> int:
+        """The worker count an actual pool spawn uses *right now*.
+
+        Clamped to the chunk plan: never spin up more workers than
+        there are chunks to feed them.  Spawners must call this per
+        spawn rather than caching ``effective_workers()`` — a
+        control-plane re-spawn over a subset of homes (supervised
+        rollback) has fewer chunks, and a stale count would claim idle
+        workers, shm slabs and CPU slots.
+        """
+        if chunk_count is None:
+            chunk_count = len(plan_chunks(self.tasks(),
+                                          self.config.effective_chunk()))
+        return max(1, min(self.config.effective_workers(), chunk_count))
+
     def tasks(self) -> List[Tuple[int, str, int]]:
         """Compact per-home dispatch tuples: pure function of config."""
         config = self.config
@@ -277,7 +357,7 @@ class FleetEngine:
             # Never spin up more workers than there are chunks to feed
             # them (e.g. --workers 8 over 3 homes): idle workers cost
             # startup and, under shm/pinning, slabs and CPU slots.
-            workers = min(workers, len(chunks))
+            workers = self.pool_workers(len(chunks))
             context = self.context()
             slabs: Optional[_shm.SlabSet] = None
             pin_dir = ""

@@ -86,6 +86,11 @@ class WorkerContext:
     pin_slots: int = 0
     #: Per-worker cProfile dump directory ("" disables profiling).
     profile_dir: str = ""
+    #: Control-plane program (a :class:`repro.fleet.control.program.
+    #: ControlProgram`) routing directive-carrying homes through the
+    #: supervised runner; ``None`` for plain fleet runs.  Typed loosely
+    #: to keep this module import-cycle-free.
+    control: Optional[Any] = None
 
 
 @dataclass

@@ -8,8 +8,8 @@ mixes (a morning home costs ~20x a cooling home) stay balanced across
 workers without a cost model.
 """
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 # Per-home simulation defaults, shared verbatim by FleetConfig so a
 # bare HomeSpec and a fleet-derived one can never drift apart.
@@ -42,6 +42,31 @@ class HomeSpec:
     # byte-identical to pre-durability fleets.
     crashes: int = DEFAULT_CRASHES
     recovery: str = DEFAULT_RECOVERY
+
+    @classmethod
+    def from_plan(cls, data: Mapping[str, Any]) -> "HomeSpec":
+        """Build a spec from its plan/JSON dict form.
+
+        The inverse of :meth:`to_plan`; unknown keys raise
+        :class:`~repro.errors.PlanError` so serialized specs fail
+        loudly when the schema drifts.
+        """
+        from repro.errors import PlanError
+
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise PlanError(f"unknown home spec keys {sorted(unknown)}; "
+                            f"valid keys: {sorted(valid)}")
+        try:
+            return cls(**dict(data))
+        except TypeError as exc:
+            raise PlanError(f"bad home spec: {exc}") from None
+
+    def to_plan(self) -> Dict[str, Any]:
+        """This spec as a JSON-ready dict (round-trips via
+        :meth:`from_plan`)."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)

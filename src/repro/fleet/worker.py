@@ -87,6 +87,17 @@ class HomeFactory:
             exhaustive_limit=context.exhaustive_limit,
             max_events=context.max_events,
             crashes=context.crashes, recovery=context.recovery)
+        control = getattr(context, "control", None)
+        if control is not None:
+            directive = control.directive_for(home_id)
+            if directive is not None:
+                # Controlled homes (supervision / live migration /
+                # cohort overrides) run outside the reuse path: the
+                # runner owns the whole hub lifecycle.
+                from repro.fleet.control.runner import run_controlled_home
+
+                return run_controlled_home(spec, directive,
+                                           control.supervision)
         home = self.acquire(seed)
         row = run_home(spec, home=home)
         wal_dir = getattr(context, "wal_dir", "")
@@ -96,6 +107,30 @@ class HomeFactory:
             self._spool.write(home_wal_record(home_id, scenario, seed,
                                               home))
         return row
+
+
+def home_row(spec: HomeSpec, result, report) -> Dict[str, Any]:
+    """One home's metrics row from its run result + §7.1 report.
+
+    Shared by :func:`run_home` and the control plane's supervised
+    runner so every execution path emits identical row shapes.
+    """
+    return {
+        "home_id": spec.home_id,
+        "scenario": spec.scenario,
+        "model": report.model_name,
+        "seed": spec.seed,
+        "routines": report.routines,
+        "committed": report.committed,
+        "aborted": report.aborted,
+        "abort_rate": report.abort_rate,
+        "latencies": result.latencies(),
+        "lat_p50": report.latency["p50"],
+        "lat_p95": report.latency["p95"],
+        "temporary_incongruence": report.temporary_incongruence,
+        "final_congruent": report.final_congruent,
+        "makespan": result.makespan,
+    }
 
 
 def run_home(spec: HomeSpec,
@@ -130,22 +165,7 @@ def run_home(spec: HomeSpec,
     result = home.run(max_events=spec.max_events)
     report = home.report(check_final=spec.check_final,
                          exhaustive_limit=spec.exhaustive_limit)
-    row = {
-        "home_id": spec.home_id,
-        "scenario": spec.scenario,
-        "model": report.model_name,
-        "seed": spec.seed,
-        "routines": report.routines,
-        "committed": report.committed,
-        "aborted": report.aborted,
-        "abort_rate": report.abort_rate,
-        "latencies": result.latencies(),
-        "lat_p50": report.latency["p50"],
-        "lat_p95": report.latency["p95"],
-        "temporary_incongruence": report.temporary_incongruence,
-        "final_congruent": report.final_congruent,
-        "makespan": result.makespan,
-    }
+    row = home_row(spec, result, report)
     if spec.crashes:
         # Deterministic recovery counters only (wall time excluded).
         row["hub_crashes"] = len(recoveries)

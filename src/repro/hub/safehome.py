@@ -43,10 +43,12 @@ from repro.devices.driver import Driver
 from repro.devices.failures import FailureInjector, FailurePlan
 from repro.devices.network import LatencyModel
 from repro.devices.registry import DeviceRegistry
-from repro.errors import HubCrashedError, RecoveryError, SafeHomeError
+from repro.errors import (HubCrashedError, MigrationError, RecoveryError,
+                          SafeHomeError)
 from repro.hub.durability.recovery import (RECOVERY_MODES, CrashPlan,
                                            DurabilityConfig,
                                            DurabilityManager, RecoveryReport)
+from repro.hub.migration import MigrationReport
 from repro.hub.failure_detector import FailureDetector
 from repro.hub.log import FeedbackLog
 from repro.hub.routine_bank import RoutineBank
@@ -85,6 +87,7 @@ class SafeHome:
         self._crashed = False
         self._pending_crash: Optional[CrashPlan] = None
         self.recoveries: List[RecoveryReport] = []
+        self.migrations: List[MigrationReport] = []
         self._build_stack()
         if durability:
             cfg = durability if isinstance(durability, DurabilityConfig) \
@@ -152,6 +155,7 @@ class SafeHome:
         self._crashed = False
         self._pending_crash = None
         self.recoveries = []
+        self.migrations = []
         self._build_policy()
         if durability:
             cfg = durability if isinstance(durability, DurabilityConfig) \
@@ -472,6 +476,19 @@ class SafeHome:
         self._pending_crash = plan
         self._record_input("crash-scheduled", plan.to_payload())
 
+    def cancel_crash(self) -> None:
+        """Withdraw a scheduled-but-unfired hub crash.
+
+        Journaled as an input so replay (recovery or live migration)
+        drops the pending plan at the same point; a no-op when nothing
+        is scheduled.
+        """
+        self._ensure_alive()
+        if self._pending_crash is None:
+            return
+        self._pending_crash = None
+        self._record_input("crash-cancelled", {})
+
     def recover(self, mode: Optional[str] = None) -> RecoveryReport:
         """Rebuild the hub from its checkpoint + write-ahead log.
 
@@ -495,8 +512,16 @@ class SafeHome:
         old_manager = self.durability
         old_records = list(old_manager.wal.records)
         old_checkpoints = list(old_manager.checkpoints)
-        crash_record = next(r for r in reversed(old_records)
-                            if r.type == "crash")
+        crash_record = next((r for r in reversed(old_records)
+                             if r.type == "crash"), None)
+        if crash_record is None:
+            # A failed migration marks the hub crashed without a crash
+            # record: there is no boundary to replay to, only a WAL to
+            # post-mortem.  Supervisors catch this and count the home
+            # as failed rather than retrying forever.
+            raise RecoveryError(
+                "no crash record in the WAL: the hub was marked failed "
+                "(e.g. by an aborted migration), not crashed mid-run")
 
         # Fresh stack + fresh manager; the old WAL is the recovery input.
         self._crashed = False
@@ -505,14 +530,7 @@ class SafeHome:
             self._build_stack()
             self._attach_durability(old_manager.config)
 
-            for record in old_records:
-                if record.type in ("home-created", "crash") or \
-                        not record.is_input:
-                    # home-created was re-recorded by _attach_durability;
-                    # crash markers and observations regenerate during
-                    # replay.
-                    continue
-                self._replay_input(record)
+            self._replay_records(old_records)
             if not self._crashed:
                 raise RecoveryError(
                     "replay finished without reaching the crash point "
@@ -553,6 +571,38 @@ class SafeHome:
         self.recoveries.append(report)
         return report
 
+    def _replay_records(self, records, heal_crashes: bool = False
+                        ) -> tuple:
+        """Re-apply a WAL's durable inputs to the rebuilt stack.
+
+        Shared by :meth:`recover` and :meth:`migrate`.  ``home-created``
+        is skipped (re-recorded by ``_attach_durability``); markers and
+        observations regenerate during replay.  With ``heal_crashes``
+        (migration) a crash that fires during replay *without* a
+        matching ``recovery`` record up next — the target model reached
+        a crash point the source model never hit — is transparently
+        resumed in ``replay`` mode and journaled, so replay under a
+        different policy never strands the hub.  Returns
+        ``(replayed_inputs, healed_crashes)``.
+        """
+        inputs = [r for r in records
+                  if r.is_input and r.type != "home-created"]
+        healed = 0
+        for index, record in enumerate(inputs):
+            self._replay_input(record)
+            if heal_crashes and self._crashed:
+                nxt = inputs[index + 1] if index + 1 < len(inputs) \
+                    else None
+                if nxt is None or nxt.type != "recovery":
+                    self._apply_recovery_policy("replay")
+                    self._crashed = False
+                    self.durability.record_input("recovery", {
+                        "mode": "replay",
+                        "events": self.sim.events_processed})
+                    self.feedback.hub_restarted(self.sim.now, "replay")
+                    healed += 1
+        return len(inputs), healed
+
     def _replay_input(self, record) -> None:
         """Re-apply one durable input record to the rebuilt stack."""
         if self._crashed and record.type != "recovery":
@@ -590,6 +640,8 @@ class SafeHome:
                                  "cancelled by user")
         elif record.type == "crash-scheduled":
             self._pending_crash = CrashPlan.from_payload(payload)
+        elif record.type == "crash-cancelled":
+            self._pending_crash = None
         elif record.type == "run":
             self._run_core(until=payload["until"],
                            detector=payload["detector"],
@@ -652,6 +704,83 @@ class SafeHome:
             if old.digest != new.digest:
                 return f"checkpoint #{index} digest mismatch"
         return None
+
+    # -- live migration (docs/control-plane.md) -----------------------------------------
+
+    def migrate(self, visibility: Union[str, VisibilityModel]
+                ) -> MigrationReport:
+        """Flip this home's visibility model live, at a checkpoint
+        boundary, without discarding its history.
+
+        Forces a checkpoint (the digest-pinned boundary), rebuilds the
+        stack under the *target* model and deterministically replays the
+        WAL's input records through the new policy — the same machinery
+        as :meth:`recover`, pointed at a different controller.  Because
+        inputs + seed are a complete recipe, the migrated hub's state
+        and subsequent behavior are identical to a hub that ran under
+        the target model from the start (pinned by the migration grid
+        test).  A crash plan that fires during replay where the source
+        model never hit it is transparently resumed and journaled.
+
+        On failure the hub is left *crashed* with the pre-migration WAL
+        intact for post-mortem and :class:`~repro.errors.MigrationError`
+        is raised; a fleet supervisor treats the home as failed.
+        """
+        if self.durability is None:
+            raise SafeHomeError(
+                "live migration needs a durable hub: construct with "
+                "SafeHome(..., durability=True)")
+        self._ensure_alive()
+        target = VisibilityModel.parse(visibility)
+        source = VisibilityModel.parse(self._ctor["visibility"])
+        started = DurabilityManager.wall_clock()
+        # The flip happens at a forced checkpoint: its digest is the
+        # boundary evidence carried into the migration report/marker.
+        boundary = self.durability.take_checkpoint()
+        old_manager = self.durability
+        old_records = list(old_manager.wal.records)
+        old_visibility = self._ctor["visibility"]
+        self._ctor["visibility"] = target.value
+        try:
+            self._build_stack()
+            self._attach_durability(old_manager.config)
+            replayed, healed = self._replay_records(old_records,
+                                                    heal_crashes=True)
+            if self._crashed:
+                raise MigrationError(
+                    "replay under the target model ended crashed")
+        except BaseException as exc:
+            # A failed migration must not leave a half-replayed stack
+            # accepting work: mark the hub crashed and point durability
+            # back at the intact pre-migration WAL for post-mortem.
+            self._ctor["visibility"] = old_visibility
+            self._crashed = True
+            self._pending_crash = None
+            self.durability = old_manager
+            if isinstance(exc, Exception) and \
+                    not isinstance(exc, MigrationError):
+                raise MigrationError(
+                    f"migration {source.value} -> {target.value} "
+                    f"failed: {exc}") from exc
+            raise
+        self.durability.wal.append("migration", {
+            "from": source.value,
+            "to": target.value,
+            "digest": boundary.digest,
+            "events": self.sim.events_processed,
+        }, self.sim.now)
+        report = MigrationReport(
+            from_model=source.value,
+            to_model=target.value,
+            at_time=boundary.time,
+            at_events=boundary.events_processed,
+            checkpoint_digest=boundary.digest,
+            replayed_records=replayed,
+            replayed_events=self.sim.events_processed,
+            resumed_crashes=healed,
+            wall_s=DurabilityManager.wall_clock() - started)
+        self.migrations.append(report)
+        return report
 
     # -- inspection ---------------------------------------------------------------------
 

@@ -15,6 +15,8 @@ from repro.metrics.congruence import (end_state_of_order,
                                       final_state_serializable,
                                       serial_end_state_exists,
                                       temporary_incongruence)
+from repro.metrics.cohort import (cohort_aggregates, cohort_rows,
+                                  compare_cohorts)
 from repro.metrics.fleet import aggregate_homes
 from repro.metrics.recovery import recovery_summary, recovery_wall_summary
 from repro.metrics.serialization import (reconstruct_serial_order,
@@ -38,6 +40,9 @@ __all__ = [
     "MetricsReport",
     "analyze",
     "aggregate_homes",
+    "cohort_rows",
+    "cohort_aggregates",
+    "compare_cohorts",
     "recovery_summary",
     "recovery_wall_summary",
 ]

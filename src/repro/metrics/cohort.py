@@ -1,0 +1,80 @@
+"""Cohort comparison: judge a canary against its baseline.
+
+The control plane (docs/control-plane.md) splits a fleet into named
+cohorts and needs a deterministic verdict: did the canary cohort's
+config change regress congruence, abort rate, or tail latency relative
+to the stable cohort?  This module groups per-home fleet rows by their
+``cohort`` column, reuses :func:`~repro.metrics.fleet.aggregate_homes`
+per group, and compares aggregates against the plan's thresholds.
+"""
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.metrics.fleet import aggregate_homes
+
+
+def cohort_rows(rows: Sequence[Mapping[str, Any]]
+                ) -> Dict[str, List[Mapping[str, Any]]]:
+    """Group fleet rows by their ``cohort`` column (sorted names).
+
+    Rows without a cohort fall into ``"stable"``; failed (abandoned)
+    homes are excluded — a zeroed row would dilute every rate the
+    comparison is about.
+    """
+    groups: Dict[str, List[Mapping[str, Any]]] = {}
+    for row in rows:
+        if row.get("failed"):
+            continue
+        groups.setdefault(row.get("cohort", "stable"), []).append(row)
+    return {name: groups[name] for name in sorted(groups)}
+
+
+def cohort_aggregates(rows: Sequence[Mapping[str, Any]]
+                      ) -> Dict[str, Dict[str, Any]]:
+    """Per-cohort fleet aggregates: ``{cohort: aggregate_homes(...)}``."""
+    return {name: aggregate_homes(group)
+            for name, group in cohort_rows(rows).items()}
+
+
+def compare_cohorts(candidate: Mapping[str, Any],
+                    baseline: Mapping[str, Any],
+                    max_abort_rate_delta: float = 0.1,
+                    max_incongruence_delta: float = 0.0,
+                    max_p95_ratio: float = 1.5) -> Dict[str, Any]:
+    """Deterministic regression verdict for one cohort pair.
+
+    ``candidate``/``baseline`` are :func:`aggregate_homes` dicts.
+    Checks three axes: abort-rate delta, final-incongruence delta
+    (count, normalized per home) and the p95 latency ratio.  Returns
+    ``{"regressed": bool, "reasons": [...], "deltas": {...}}`` with
+    every number rounded for byte-stable JSON.
+    """
+    reasons: List[str] = []
+    abort_delta = candidate["abort_rate"] - baseline["abort_rate"]
+    if abort_delta > max_abort_rate_delta:
+        reasons.append(
+            f"abort_rate +{abort_delta:.4f} > {max_abort_rate_delta}")
+    cand_homes = max(1, candidate.get("homes_final_checked", 0) or 1)
+    base_homes = max(1, baseline.get("homes_final_checked", 0) or 1)
+    incongruence_delta = (candidate["final_incongruence"] / cand_homes
+                          - baseline["final_incongruence"] / base_homes)
+    if incongruence_delta > max_incongruence_delta:
+        reasons.append(
+            f"final_incongruence +{incongruence_delta:.4f} > "
+            f"{max_incongruence_delta}")
+    base_p95 = baseline["latency"]["p95"]
+    cand_p95 = candidate["latency"]["p95"]
+    p95_ratio = cand_p95 / base_p95 if base_p95 > 0 else \
+        (1.0 if cand_p95 <= 0 else float("inf"))
+    if p95_ratio > max_p95_ratio:
+        reasons.append(f"lat_p95 ratio {p95_ratio:.3f} > {max_p95_ratio}")
+    return {
+        "regressed": bool(reasons),
+        "reasons": reasons,
+        "deltas": {
+            "abort_rate_delta": round(abort_delta, 6),
+            "incongruence_delta": round(incongruence_delta, 6),
+            "p95_ratio": round(p95_ratio, 6)
+            if p95_ratio != float("inf") else "inf",
+        },
+    }

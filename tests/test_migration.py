@@ -1,0 +1,149 @@
+"""Live visibility-model migration: the equivalence grid and edges.
+
+The load-bearing contract (docs/control-plane.md): a home migrated at a
+checkpoint boundary is *byte-identical* — full captured hub state — to
+a home that ran under the target model from the start, because WAL
+inputs + seed are a complete recipe and replay re-derives everything
+else under the new policy.
+"""
+
+import pytest
+
+from repro.errors import MigrationError, RecoveryError, SafeHomeError
+from repro.hub.durability.checkpoint import state_digest
+from repro.hub.durability.recovery import DurabilityConfig
+from repro.hub.safehome import SafeHome
+from repro.metrics.oracle import check_run
+from repro.workloads.fleet_mix import build_fleet_workload
+from repro.workloads.synth import HUNT_MODELS
+
+SEED = 11
+SCENARIO = "cooling"
+CHECKPOINT_EVERY = 8
+
+
+def _fresh(model, execution="serial", durable=True):
+    home = SafeHome(
+        visibility=model, execution=execution, seed=SEED,
+        durability=DurabilityConfig(checkpoint_every=CHECKPOINT_EVERY)
+        if durable else None)
+    home.load_workload(build_fleet_workload(SCENARIO, seed=SEED))
+    return home
+
+
+def _boundaries(execution):
+    """Every checkpoint-boundary time of a crash-free baseline run."""
+    home = _fresh("wv", execution)
+    home.run()
+    times = sorted({cp.time for cp in home.durability.checkpoints
+                    if cp.time > 0})
+    assert times, "baseline run produced no checkpoint boundaries"
+    return times
+
+
+@pytest.mark.parametrize("execution", ["serial", "parallel"])
+@pytest.mark.parametrize("target", HUNT_MODELS)
+def test_migration_grid_equivalent_to_fresh_target_run(target, execution):
+    reference = _fresh(target, execution)
+    reference.run()
+    reference_digest = state_digest(reference._capture_state())
+
+    for at in _boundaries(execution):
+        home = _fresh("wv", execution)
+        home.run(until=at)
+        report = home.migrate(target)
+        assert report.from_model is not None
+        assert report.checkpoint_digest
+        result = home.run()
+        assert state_digest(home._capture_state()) == reference_digest, \
+            f"migrated wv->{target} ({execution}) at t={at} diverged " \
+            f"from the fresh {target} run"
+        oracle = check_run(result, home.initial)
+        assert oracle.ok, oracle.violations
+
+
+def test_migration_report_and_wal_marker():
+    home = _fresh("wv")
+    home.run(until=100.0)
+    report = home.migrate("ev")
+    assert report.from_model == "wv"
+    assert report.to_model == "ev"
+    assert home.migrations == [report]
+    row = report.row()
+    assert row["from_model"] == "wv" and row["to_model"] == "ev"
+    assert "wall_s" not in row  # rows are deterministic
+    markers = [r for r in home.durability.wal.records
+               if r.type == "migration"]
+    assert len(markers) == 1
+    assert markers[0].payload["digest"] == report.checkpoint_digest
+    # The migrated home keeps running and stays recoverable.
+    home.crash(at=300.0)
+    home.run()
+    home.recover()
+    result = home.run()
+    assert check_run(result, home.initial).ok
+
+
+def test_migrate_requires_durability():
+    home = SafeHome(visibility="wv", seed=SEED)
+    home.load_workload(build_fleet_workload(SCENARIO, seed=SEED))
+    with pytest.raises(SafeHomeError, match="durable"):
+        home.migrate("ev")
+
+
+def test_migrate_refuses_crashed_hub():
+    home = _fresh("wv")
+    home.crash(at=50.0)
+    home.run()
+    assert home.crashed
+    with pytest.raises(SafeHomeError):
+        home.migrate("ev")
+
+
+def test_cancel_crash_withdraws_pending_plan_before_migration():
+    home = _fresh("wv")
+    home.crash(at=5000.0)       # scheduled far beyond the workload
+    home.run(until=100.0)
+    home.cancel_crash()
+    home.migrate("ev")
+    result = home.run()
+    assert not home.crashed     # the cancelled plan never replays
+    cancelled = [r for r in home.durability.wal.records
+                 if r.type == "crash-cancelled"]
+    assert cancelled
+    assert check_run(result, home.initial).ok
+
+
+def test_cancel_crash_without_pending_plan_is_a_noop():
+    home = _fresh("wv")
+    home.run(until=100.0)
+    records_before = len(home.durability.wal.records)
+    home.cancel_crash()
+    assert len(home.durability.wal.records) == records_before
+
+
+def test_migration_failure_leaves_hub_crashed_with_wal_intact():
+    home = _fresh("wv")
+    home.run(until=100.0)
+    records = list(home.durability.wal.records)
+    original_build = home._build_stack
+
+    def broken_build():
+        original_build()
+        raise RuntimeError("synthetic stack-rebuild failure")
+
+    home._build_stack = broken_build
+    with pytest.raises(MigrationError, match="synthetic"):
+        home.migrate("ev")
+    assert home.crashed
+    assert home._ctor["visibility"] == "wv"
+    # The pre-migration records survive verbatim (the forced boundary
+    # checkpoint is the only addition).
+    kept = [r.identity() for r in home.durability.wal.records]
+    assert kept[:len(records)] == [r.identity() for r in records]
+    # A failed migration is *failed*, not crashed-mid-run: there is no
+    # crash boundary to replay to, and recover() says so cleanly (the
+    # fleet supervisor catches this and abandons the home).
+    home._build_stack = original_build
+    with pytest.raises(RecoveryError, match="no crash record"):
+        home.recover()
