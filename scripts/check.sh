@@ -59,6 +59,11 @@ PYEOF
 done
 
 echo
+echo "== fsck gate (golden fixtures + seeded corruption matrix) =="
+"$PY" scripts/gen_fsck_fixtures.py --check
+"$PY" scripts/fsck_matrix.py --models ev,gsv --json "$DET_DIR/fsck.json"
+
+echo
 echo "== lint =="
 if "$PY" -m ruff --version >/dev/null 2>&1; then
     "$PY" -m ruff check src tests benchmarks examples scripts

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regenerate the golden corrupt-WAL fixtures under tests/fixtures/fsck.
+
+Each fixture directory holds the raw segment bytes of a deterministic
+durable chaos run damaged by one seeded fault, plus ``expected.json`` —
+the byte-exact ``repro fsck --salvage`` report the damaged log must
+keep producing forever.  ``tests/test_fsck.py`` replays fsck over the
+committed bytes and compares reports byte for byte, so any drift in the
+frame format, the scanner's classification or the salvage pipeline
+shows up as a fixture diff, never as a silent behavior change.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_fsck_fixtures.py          # rewrite
+    PYTHONPATH=src python scripts/gen_fsck_fixtures.py --check  # exit 1 on drift
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.hub.durability.faults import (build_durable_home,  # noqa: E402
+                                         inject_fault)
+from repro.hub.durability.fsck import fsck_path  # noqa: E402
+
+FIXTURE_ROOT = REPO_ROOT / "tests" / "fixtures" / "fsck"
+
+#: name -> fault kind.  One fixture per damage class the scanner
+#: distinguishes: crash-consistent tail, mid-log bit rot, seal loss.
+FIXTURES = {
+    "torn-tail": "torn-tail",
+    "flipped-bit": "bit-flip",
+    "bad-seal": "missing-seal",
+}
+
+MODEL, EXECUTION, SEED, CHECKPOINT_EVERY = "ev", "serial", 3, 8
+
+
+def build_fixture(name: str, kind: str, root: Path) -> dict:
+    target = root / name
+    if target.exists():
+        shutil.rmtree(target)
+    target.mkdir(parents=True)
+    build_durable_home(MODEL, EXECUTION, str(target), seed=SEED,
+                       checkpoint_every=CHECKPOINT_EVERY)
+    injection = inject_fault(str(target), kind, seed=SEED)
+    report = fsck_path(str(target), salvage=True)
+    expected = {
+        "injection": injection,
+        "report": report.to_dict(),
+    }
+    (target / "expected.json").write_text(
+        json.dumps(expected, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return expected
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="regenerate into a scratch dir and exit 1 "
+                             "if the committed fixtures drift")
+    args = parser.parse_args()
+
+    if not args.check:
+        for name, kind in FIXTURES.items():
+            expected = build_fixture(name, kind, FIXTURE_ROOT)
+            print(f"wrote {FIXTURE_ROOT / name} "
+                  f"(status={expected['report']['status']}, "
+                  f"exit={expected['report']['exit_code']})")
+        return 0
+
+    import tempfile
+
+    drift = 0
+    with tempfile.TemporaryDirectory(prefix="fsck-fixtures-") as scratch:
+        for name, kind in FIXTURES.items():
+            fresh = build_fixture(name, kind, Path(scratch))
+            committed_path = FIXTURE_ROOT / name / "expected.json"
+            if not committed_path.exists():
+                print(f"MISSING: {committed_path}")
+                drift += 1
+                continue
+            committed = json.loads(committed_path.read_text())
+            if committed != fresh:
+                print(f"DRIFT: {committed_path} no longer matches a "
+                      f"fresh build")
+                drift += 1
+            else:
+                print(f"ok: {name}")
+    return 1 if drift else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

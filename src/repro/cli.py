@@ -23,7 +23,13 @@ Commands:
 * ``crash-recovery`` — run the hub-crash chaos workload on a durable
   hub: crash at seeded points (or ``--crash-at`` / ``--crash-event``),
   recover from checkpoint + WAL, and compare the final report against
-  an uninterrupted run (see docs/durability.md).
+  an uninterrupted run (see docs/durability.md); ``--wal-dir`` puts
+  the WAL on disk as segmented CRC-framed files.
+* ``fsck PATH`` — verify a durable artifact (segmented home WAL dir
+  or merged fleet spool): classify clean / crash-consistent torn tail
+  / corrupt, replay-verify the survivors, and with ``--salvage`` cut a
+  corrupt log at its last good checkpoint and rebuild an oracle-clean
+  home.  Exit 0 healthy, 1 damage corrected, 2 damage uncorrected.
 * ``bench`` — run registered benchmark suites through the unified
   harness, write the merged ``BENCH_summary.json`` and optionally gate
   events/sec against a checked-in baseline (see docs/benchmarks.md).
@@ -322,7 +328,8 @@ def cmd_crash_recovery(args: argparse.Namespace) -> int:
             seed=args.seed, crashes=args.crashes, recovery=args.recovery,
             checkpoint_every=args.checkpoint_every,
             crash_at=args.crash_at, crash_event=args.crash_event,
-            scenario=args.scenario or None)
+            scenario=args.scenario or None,
+            wal_dir=args.wal_dir or None)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -348,6 +355,34 @@ def cmd_crash_recovery(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.errors import CorruptionError, SafeHomeError
+    from repro.hub.durability.fsck import fsck_path
+
+    try:
+        report = fsck_path(args.path, salvage=args.salvage)
+    except CorruptionError as error:
+        # Structurally unreadable before a report could be built
+        # (e.g. an unparseable fleet index): uncorrected damage.
+        print(f"fsck: {error}", file=sys.stderr)
+        return 2
+    except (SafeHomeError, OSError, ValueError) as error:
+        print(f"fsck: {error}", file=sys.stderr)
+        return 2
+    text = report.to_json() + "\n"
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    if args.json or not args.report:
+        sys.stdout.write(text)
+    code = report.exit_code()
+    label = {0: "healthy", 1: "damage corrected (salvaged)",
+             2: "damage NOT corrected"}[code]
+    print(f"fsck {args.path}: status={report.status} "
+          f"exit={code} ({label})", file=sys.stderr)
+    return code
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -631,7 +666,30 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--json", default="",
                        help="write the deterministic chaos summary "
                             "JSON to this path")
+    crash.add_argument("--wal-dir", default="",
+                       help="write the crashing home's WAL to segmented "
+                            "CRC-framed files in this directory "
+                            "(inspect afterwards with 'repro fsck')")
     crash.set_defaults(func=cmd_crash_recovery)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify (and optionally salvage) a durable WAL artifact: "
+             "a segmented home WAL dir or a merged fleet spool")
+    fsck.add_argument("path",
+                      help="home WAL directory (wal-*.seg), fleet spool "
+                           "directory, or a fleet-wal.jsonl path")
+    fsck.add_argument("--salvage", action="store_true",
+                      help="on corruption, cut the log at its last good "
+                           "checkpoint, replay the surviving prefix and "
+                           "verify it against the congruence oracle")
+    fsck.add_argument("--report", default="",
+                      help="write the deterministic repro-fsck-report/1 "
+                           "JSON to this path instead of stdout")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the report JSON to stdout even when "
+                           "--report is given")
+    fsck.set_defaults(func=cmd_fsck)
 
     hunt = sub.add_parser(
         "hunt",

@@ -37,6 +37,54 @@ class RecoveryError(SafeHomeError):
     """Hub recovery failed (replay diverged from the write-ahead log)."""
 
 
+class CorruptionError(SafeHomeError):
+    """An on-disk WAL (or fleet spool) holds damaged data.
+
+    Raised by the storage scanner and the fleet spool loader when a log
+    is corrupt *before* its crash-consistent tail: bit rot, duplicated
+    or reordered frames, a truncated mid-log segment, a missing seal, a
+    garbled spool line, or a stale index.  A torn tail after the last
+    seal is NOT corruption — crash-consistency truncates it by design.
+
+    The message always carries the damaged record's sequence number,
+    record type and byte offset (``?`` when unknowable), so operators
+    can locate the damage without re-scanning; ``tests/test_fsck.py``
+    pins this context.
+    """
+
+    def __init__(self, detail, path=None, offset=None, seq=None,
+                 record_type=None, line=None):
+        self.detail = detail
+        self.path = path
+        self.offset = offset
+        self.seq = seq
+        self.record_type = record_type
+        self.line = line
+
+        def show(value):
+            return "?" if value is None else str(value)
+
+        where = f"path={show(path)}"
+        if line is not None:
+            where += f", line={line}"
+        message = (f"corrupt WAL: {detail} ({where}, seq={show(seq)}, "
+                   f"type={show(record_type)}, offset={show(offset)})")
+        super().__init__(message)
+
+    def to_dict(self):
+        """Deterministic report form (relative path only)."""
+        import os
+
+        return {
+            "detail": self.detail,
+            "path": os.path.basename(self.path) if self.path else None,
+            "offset": self.offset,
+            "seq": self.seq,
+            "type": self.record_type,
+            "line": self.line,
+        }
+
+
 class MigrationError(SafeHomeError):
     """A live visibility-model migration failed mid-replay.
 

@@ -30,6 +30,8 @@ import os
 import threading
 from typing import Any, Dict, List, Optional
 
+from repro.errors import CorruptionError
+
 #: Merged artifact names inside ``wal_dir``.
 MERGED_NAME = "fleet-wal.jsonl"
 INDEX_NAME = "fleet-wal-index.json"
@@ -110,10 +112,19 @@ def merge_spool(wal_dir: str,
     for segment in segments:
         path = os.path.join(wal_dir, segment)
         with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    # A worker died mid-write (truncated line) or the
+                    # segment rotted: surface the typed error with the
+                    # damage location, never a raw decode traceback.
+                    raise CorruptionError(
+                        f"undecodable spool line ({exc.msg})",
+                        path=path, line=number) from exc
     records.sort(key=lambda record: record["home_id"])
     seen = [record["home_id"] for record in records]
     if len(set(seen)) != len(seen):
@@ -148,8 +159,23 @@ def merge_spool(wal_dir: str,
     return summary
 
 
+def _line_number_at(path: str, offset: int) -> int:
+    """1-based line number of the byte at ``offset`` (error paths only:
+    the hot path stays a single seek, damage reports pay one scan)."""
+    with open(path, "rb") as handle:
+        return handle.read(offset).count(b"\n") + 1
+
+
 def load_spooled_home(wal_dir: str, home_id: int) -> Dict[str, Any]:
-    """One home's spooled record, via the index (single seek + read)."""
+    """One home's spooled record, via the index (single seek + read).
+
+    The indexed slice is *verified* against the merged log before it
+    is trusted: out-of-bounds offsets, a slice that is not exactly one
+    newline-terminated line, an undecodable payload or a home-id
+    mismatch all mean the index is stale (the merged log was rewritten
+    under it) or the log rotted — every case raises the typed
+    :class:`~repro.errors.CorruptionError`, never a silent misread.
+    """
     with open(os.path.join(wal_dir, INDEX_NAME), "r",
               encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -159,10 +185,37 @@ def load_spooled_home(wal_dir: str, home_id: int) -> Dict[str, Any]:
     entry = payload["index"].get(str(home_id))
     if entry is None:
         raise KeyError(f"home {home_id} is not in the spooled index")
-    with open(os.path.join(wal_dir, MERGED_NAME), "rb") as handle:
+    merged_path = os.path.join(wal_dir, MERGED_NAME)
+    size = os.path.getsize(merged_path)
+    if entry["offset"] + entry["length"] > size:
+        raise CorruptionError(
+            f"stale index: home {home_id} slice "
+            f"[{entry['offset']}, {entry['offset'] + entry['length']}) "
+            f"overruns the {size}-byte merged log",
+            path=merged_path, offset=entry["offset"])
+    with open(merged_path, "rb") as handle:
         handle.seek(entry["offset"])
         line = handle.read(entry["length"])
-    return json.loads(line.decode("utf-8"))
+    if not line.endswith(b"\n") or b"\n" in line[:-1]:
+        raise CorruptionError(
+            f"stale index: home {home_id} slice is not one whole line "
+            f"of the merged log",
+            path=merged_path, offset=entry["offset"],
+            line=_line_number_at(merged_path, entry["offset"]))
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptionError(
+            f"undecodable merged WAL line for home {home_id}",
+            path=merged_path, offset=entry["offset"],
+            line=_line_number_at(merged_path, entry["offset"])) from exc
+    if record.get("home_id") != home_id:
+        raise CorruptionError(
+            f"stale index: slice for home {home_id} holds home "
+            f"{record.get('home_id')}",
+            path=merged_path, offset=entry["offset"],
+            line=_line_number_at(merged_path, entry["offset"]))
+    return record
 
 
 def replay_spooled_home(record: Dict[str, Any]):

@@ -1,14 +1,18 @@
 """Durable hub: write-ahead log, checkpoints, crash/restart recovery.
 
-See ``docs/durability.md`` for the record taxonomy, checkpoint format
-and the per-model recovery policy table.
+See ``docs/durability.md`` for the record taxonomy, checkpoint format,
+the on-disk frame layout and the per-model recovery policy table.
 """
 
 from repro.hub.durability.checkpoint import (Checkpoint, capture_checkpoint,
                                              state_digest)
+from repro.hub.durability.faults import FAULT_KINDS, inject_fault
+from repro.hub.durability.fsck import FsckReport, fsck_path
 from repro.hub.durability.recovery import (RECOVERY_MODES, CrashPlan,
                                            DurabilityConfig,
                                            DurabilityManager, RecoveryReport)
+from repro.hub.durability.storage import (SegmentedWalWriter, WalScan,
+                                          scan_wal_dir)
 from repro.hub.durability.wal import (INPUT_TYPES, MARKER_TYPES,
                                       OBSERVATION_TYPES, WalRecord,
                                       WriteAheadLog, jsonify)
@@ -28,4 +32,11 @@ __all__ = [
     "CrashPlan",
     "RecoveryReport",
     "RECOVERY_MODES",
+    "SegmentedWalWriter",
+    "WalScan",
+    "scan_wal_dir",
+    "FAULT_KINDS",
+    "inject_fault",
+    "FsckReport",
+    "fsck_path",
 ]

@@ -98,10 +98,14 @@ class RecoveryReport:
     resumed: List[int] = field(default_factory=list)    # routine ids
     aborted: List[int] = field(default_factory=list)    # routine ids
     wall_s: float = 0.0         # wall-clock recovery time (measurement)
+    #: Present only after ``recover(mode="salvage")``: what the salvage
+    #: cut (floor seq / events, dropped record counts, oracle verdict).
+    #: ``None`` keeps :meth:`row` byte-identical for replay/policy.
+    salvage: Optional[Dict[str, Any]] = None
 
     def row(self) -> Dict[str, Any]:
         """Deterministic summary (wall time excluded — see to_row_timed)."""
-        return {
+        row = {
             "mode": self.mode,
             "crash_time": round(self.crash_time, 6),
             "crash_events": self.crash_events,
@@ -112,6 +116,9 @@ class RecoveryReport:
             "resumed": list(self.resumed),
             "aborted": list(self.aborted),
         }
+        if self.salvage is not None:
+            row["salvage"] = dict(self.salvage)
+        return row
 
 
 class DurabilityManager:
@@ -135,6 +142,17 @@ class DurabilityManager:
         self._now = now
         self._observations_since_checkpoint = 0
         self._checkpoint_due = False
+        #: Optional on-disk segmented writer (storage.SegmentedWalWriter).
+        #: Attached by SafeHome when ``wal_dir`` is given; the manager
+        #: streams records through ``wal.sink``, seals at checkpoints
+        #: and flushes at event boundaries.
+        self.storage = None
+
+    def attach_storage(self, storage) -> None:
+        """Stream every materialized record into ``storage`` and give
+        checkpoints their on-disk seal frames."""
+        self.storage = storage
+        self.wal.sink = storage.append
 
     # -- journal protocol (called by controllers and the facade) --------------
 
@@ -175,6 +193,10 @@ class DurabilityManager:
         if self._checkpoint_due:
             self._checkpoint_due = False
             self.take_checkpoint()
+        elif self.storage is not None:
+            # Event-boundary durability: the on-disk tail is torn only
+            # ever at an event boundary (checkpoints flush via seal()).
+            self.storage.flush()
 
     def take_checkpoint(self) -> Checkpoint:
         self.wal.flush()        # the seq floor must cover the buffer
@@ -184,6 +206,14 @@ class DurabilityManager:
             events_processed=self._events(),
             state=self._capture_state())
         self.checkpoints.append(checkpoint)
+        if self.storage is not None:
+            # The seal lands *before* the checkpoint observation record
+            # (which materializes at the next flush with this seq), so
+            # the scanner's floor invariant is seal.seq == next record.
+            self.storage.seal(
+                seq=checkpoint.seq, digest=checkpoint.digest,
+                events=checkpoint.events_processed, time=checkpoint.time,
+                index=len(self.checkpoints) - 1)
         # The marker doubles as in-log digest evidence: replay
         # regenerates it and the observation comparison covers it.
         self.observe("checkpoint", {

@@ -69,7 +69,8 @@ class SafeHome:
                  latency: Optional[LatencyModel] = None,
                  seed: int = 0,
                  detector_ping_period_s: float = 1.0,
-                 durability: Union[bool, DurabilityConfig, None] = None
+                 durability: Union[bool, DurabilityConfig, None] = None,
+                 wal_dir: Optional[str] = None
                  ) -> None:
         # Everything the stack is built from, kept so recovery can
         # rebuild an identical stack (the latency model and config are
@@ -88,6 +89,15 @@ class SafeHome:
         self._pending_crash: Optional[CrashPlan] = None
         self.recoveries: List[RecoveryReport] = []
         self.migrations: List[MigrationReport] = []
+        #: On-disk WAL directory (docs/durability.md): when set, every
+        #: materialized record streams into segmented CRC-framed files.
+        self._wal_dir = wal_dir
+        if wal_dir is not None and not durability:
+            durability = True
+        #: Absolute simulator-event bound for salvage replay (threaded
+        #: through _run_core so bounded replay stops at a checkpoint
+        #: boundary instead of the crash point).
+        self._replay_stop_events: Optional[int] = None
         self._build_stack()
         if durability:
             cfg = durability if isinstance(durability, DurabilityConfig) \
@@ -165,7 +175,8 @@ class SafeHome:
 
     # -- durability plumbing ---------------------------------------------------
 
-    def _attach_durability(self, config: DurabilityConfig) -> None:
+    def _attach_durability(self, config: DurabilityConfig,
+                           staged: bool = False) -> None:
         ctor = self._ctor
         self.durability = DurabilityManager(
             config,
@@ -177,6 +188,15 @@ class SafeHome:
         visibility = ctor["visibility"]
         if isinstance(visibility, VisibilityModel):
             visibility = visibility.value
+        if self._wal_dir is not None:
+            # Recovery and migration rebuild the log under fresh
+            # sequence numbers, so their incarnation is written into a
+            # staging directory and swapped in only after verification
+            # (see storage.SegmentedWalWriter).
+            from repro.hub.durability.storage import SegmentedWalWriter
+            self.durability.attach_storage(SegmentedWalWriter(
+                self._wal_dir, home=f"{visibility}:{ctor['seed']}",
+                staging=staged))
         self.durability.record_input("home-created", {
             "visibility": visibility,
             "scheduler": ctor["scheduler"],
@@ -211,6 +231,27 @@ class SafeHome:
     def wal(self):
         """The write-ahead log, when durability is enabled."""
         return self.durability.wal if self.durability is not None else None
+
+    @property
+    def wal_dir(self) -> Optional[str]:
+        """The on-disk WAL directory, when one was given."""
+        return self._wal_dir
+
+    def close_wal(self) -> None:
+        """Cleanly shut down the on-disk WAL (no-op without one).
+
+        Flushes the observation buffer and appends a *final seal*, the
+        clean-shutdown marker: ``repro fsck`` reports a log without one
+        as a crash image (``clean_close: false``).  Appending to the
+        hub after this raises — a closed log must not grow silently.
+        """
+        if self.durability is None or self.durability.storage is None:
+            return
+        self.durability.wal.flush()
+        self.durability.storage.close(
+            seal_events=self.sim.events_processed,
+            seal_time=self.sim.now,
+            seal_index=len(self.durability.checkpoints))
 
     # -- setup -----------------------------------------------------------------
 
@@ -375,8 +416,13 @@ class SafeHome:
 
         crash = self._pending_crash
         crashed = False
+        # Salvage replay caps every run at the last-good checkpoint's
+        # event boundary (an absolute, cumulative bound — the same
+        # units as CrashPlan.after_events).
+        stop = self._replay_stop_events
         if crash is None:
-            self.sim.run(until=until, max_events=max_events)
+            self.sim.run(until=until, max_events=max_events,
+                         stop_after_events=stop)
         elif crash.at is not None and \
                 (until is None or until >= crash.at):
             # A crash only fires while the hub is active: if the queue
@@ -384,15 +430,19 @@ class SafeHome:
             # clock does not advance to the crash time) and the crash
             # stays pending for any later activity.
             self.sim.run(until=crash.at, max_events=max_events,
-                         advance_clock=False)
+                         advance_clock=False, stop_after_events=stop)
             crashed = self.sim.now >= crash.at
             if not crashed and until is not None and until > self.sim.now:
-                self.sim.run(until=until, max_events=max_events)
+                self.sim.run(until=until, max_events=max_events,
+                             stop_after_events=stop)
         elif crash.at is not None:
-            self.sim.run(until=until, max_events=max_events)
-        else:
             self.sim.run(until=until, max_events=max_events,
-                         stop_after_events=crash.after_events)
+                         stop_after_events=stop)
+        else:
+            bound = crash.after_events if stop is None \
+                else min(crash.after_events, stop)
+            self.sim.run(until=until, max_events=max_events,
+                         stop_after_events=bound)
             crashed = self.sim.events_processed >= crash.after_events
 
         if crashed:
@@ -497,24 +547,27 @@ class SafeHome:
         regenerated observation stream and checkpoint digests are
         verified against the log (:class:`~repro.errors.RecoveryError`
         on divergence).  ``mode`` is ``"replay"`` (resume everything
-        exactly) or ``"policy"`` (each visibility model decides the
-        fate of routines caught mid-execution).
+        exactly), ``"policy"`` (each visibility model decides the fate
+        of routines caught mid-execution) or ``"salvage"`` (bounded
+        replay to the last good checkpoint for damaged logs — see
+        docs/durability.md's salvage decision tree).
         """
         if self.durability is None:
             raise SafeHomeError("durability is not enabled")
         if not self._crashed:
             raise SafeHomeError("the hub has not crashed")
         mode = mode or self.durability.config.recovery
-        if mode not in RECOVERY_MODES:
+        if mode not in RECOVERY_MODES and mode != "salvage":
             raise ValueError(f"unknown recovery mode {mode!r}; "
-                             f"pick from {RECOVERY_MODES}")
+                             f"pick from {RECOVERY_MODES + ('salvage',)}")
         started = DurabilityManager.wall_clock()
         old_manager = self.durability
         old_records = list(old_manager.wal.records)
         old_checkpoints = list(old_manager.checkpoints)
+        compacted = old_manager.wal.compacted_observations
         crash_record = next((r for r in reversed(old_records)
                              if r.type == "crash"), None)
-        if crash_record is None:
+        if crash_record is None and mode != "salvage":
             # A failed migration marks the hub crashed without a crash
             # record: there is no boundary to replay to, only a WAL to
             # post-mortem.  Supervisors catch this and count the home
@@ -522,29 +575,47 @@ class SafeHome:
             raise RecoveryError(
                 "no crash record in the WAL: the hub was marked failed "
                 "(e.g. by an aborted migration), not crashed mid-run")
+        if old_manager.storage is not None:
+            # The crashed incarnation's disk log is now read-only
+            # recovery input; the new incarnation writes to staging
+            # and swaps in only after verification below.
+            old_manager.wal.sink = None
+            old_manager.storage.close(write_final_seal=False)
 
         # Fresh stack + fresh manager; the old WAL is the recovery input.
         self._crashed = False
         self._pending_crash = None
+        salvage_result = None
         try:
             self._build_stack()
-            self._attach_durability(old_manager.config)
+            self._attach_durability(old_manager.config, staged=True)
 
-            self._replay_records(old_records)
-            if not self._crashed:
-                raise RecoveryError(
-                    "replay finished without reaching the crash point "
-                    "(corrupt or truncated WAL)")
+            if mode == "salvage":
+                salvage_result = self._salvage_replay(
+                    old_records, compacted=compacted)
+            else:
+                self._replay_records(old_records)
+                if not self._crashed:
+                    raise RecoveryError(
+                        "replay finished without reaching the crash "
+                        "point (corrupt or truncated WAL)")
 
-            divergence = self._verify_replay(old_records,
-                                             old_checkpoints)
-            if divergence:
-                raise RecoveryError(f"replay diverged from the WAL: "
-                                    f"{divergence}")
+                divergence = self._verify_replay(old_records,
+                                                 old_checkpoints)
+                if divergence:
+                    raise RecoveryError(f"replay diverged from the WAL: "
+                                        f"{divergence}")
+            if self.durability.storage is not None:
+                self.durability.storage.commit_staging()
         except BaseException:
             # A failed recovery must not leave a half-replayed stack
-            # accepting work: stay crashed, and point durability back at
-            # the intact pre-crash WAL so recover() can be retried.
+            # accepting work: stay crashed, drop the staged disk log,
+            # and point durability back at the intact pre-crash WAL so
+            # recover() can be retried.
+            if self.durability is not old_manager and \
+                    self.durability is not None and \
+                    self.durability.storage is not None:
+                self.durability.storage.abort_staging()
             self._crashed = True
             self._pending_crash = None
             self.durability = old_manager
@@ -555,6 +626,11 @@ class SafeHome:
         self.durability.record_input("recovery", {
             "mode": mode, "events": self.sim.events_processed})
         self.feedback.hub_restarted(self.sim.now, mode)
+        if mode == "salvage":
+            info, cps_verified, obs_verified = salvage_result
+            return self._finish_salvage(
+                old_records, crash_record, info, cps_verified,
+                obs_verified, resumed, aborted, started, compacted)
         report = RecoveryReport(
             mode=mode,
             crash_time=crash_record.payload["time"],
@@ -562,12 +638,158 @@ class SafeHome:
             replayed_events=self.sim.events_processed,
             replayed_records=len([r for r in old_records
                                   if r.is_observation]),
-            wal_records=len(old_records)
-            + old_manager.wal.compacted_observations,
+            wal_records=len(old_records) + compacted,
             checkpoints_verified=len(old_checkpoints),
             resumed=resumed,
             aborted=aborted,
             wall_s=DurabilityManager.wall_clock() - started)
+        self.recoveries.append(report)
+        return report
+
+    def salvage_records(self, records,
+                        bounded: bool = True) -> RecoveryReport:
+        """Salvage another incarnation's (possibly damaged) WAL records
+        into this freshly built durable hub.
+
+        The entry point ``repro fsck --salvage`` uses after
+        :func:`~repro.hub.durability.storage.scan_wal_dir` chopped a
+        corrupt on-disk log down to its good prefix: bounded replay to
+        the last good checkpoint, per-model recovery policy for
+        routines caught in flight, checkpoint digests (and the
+        observation prefix) verified — a divergence raises
+        :class:`~repro.errors.RecoveryError`, never a silent pass.
+
+        ``bounded=False`` replays *all* good inputs to their natural
+        end instead of cutting at the last checkpoint — full replay
+        verification for clean or merely tail-torn logs.
+        """
+        if self.durability is None:
+            raise SafeHomeError("durability is not enabled")
+        started = DurabilityManager.wall_clock()
+        old_records = list(records)
+        crash_record = next((r for r in reversed(old_records)
+                             if r.type == "crash"), None)
+        info, cps_verified, obs_verified = self._salvage_replay(
+            old_records, bounded=bounded)
+        resumed, aborted = self._apply_recovery_policy("salvage")
+        self._crashed = False
+        self.durability.record_input("recovery", {
+            "mode": "salvage", "events": self.sim.events_processed})
+        self.feedback.hub_restarted(self.sim.now, "salvage")
+        return self._finish_salvage(
+            old_records, crash_record, info, cps_verified, obs_verified,
+            resumed, aborted, started, compacted=0)
+
+    def _salvage_replay(self, old_records, compacted: int = 0,
+                        bounded: bool = True) -> tuple:
+        """Bounded replay of a damaged log's inputs.
+
+        Cuts the log at the last good ``checkpoint`` record (the
+        *salvage floor*), replays only inputs below the floor with
+        every run capped at the checkpoint's event count, heals crash
+        plans that fire inside the window, then verifies regenerated
+        checkpoint digests — and the observation prefix, when nothing
+        was compacted — against the log.  Returns
+        ``(salvage_info, checkpoints_verified, verified_observations)``.
+        """
+        floor = next((r for r in reversed(old_records)
+                      if r.type == "checkpoint"), None) if bounded \
+            else None
+        floor_seq = floor.seq if floor is not None else None
+        boundary_events = floor.payload.get("events") \
+            if floor is not None else None
+        inputs = [r for r in old_records
+                  if r.is_input and r.type != "home-created"]
+        kept = inputs if floor_seq is None \
+            else [r for r in inputs if r.seq < floor_seq]
+        self._replay_stop_events = boundary_events
+        try:
+            replayed, healed = self._replay_records(kept,
+                                                    heal_crashes=True)
+        finally:
+            self._replay_stop_events = None
+        if self._crashed:
+            raise RecoveryError(
+                "salvage replay ended crashed: the log's crash plan "
+                "fired inside the salvage window and could not be "
+                "healed")
+        if self._pending_crash is not None:
+            # The crash this log died of already happened; the salvaged
+            # incarnation must not die of it again.  Journaled so the
+            # new WAL stays a complete recipe.
+            self._pending_crash = None
+            self._record_input("crash-cancelled", {})
+
+        # Verify every piece of evidence that survived the damage.
+        old_obs = [r for r in old_records if r.is_observation
+                   and (floor_seq is None or r.seq < floor_seq)]
+        old_cps = [r for r in old_records if r.type == "checkpoint"
+                   and (floor_seq is None or r.seq <= floor_seq)]
+        new_cps = self.durability.checkpoints
+        for record in old_cps:
+            index = record.payload.get("index")
+            if index is None or index >= len(new_cps):
+                raise RecoveryError(
+                    f"salvage replay regenerated {len(new_cps)} "
+                    f"checkpoints; logged checkpoint index {index} "
+                    f"(seq {record.seq}, type {record.type!r}) was "
+                    f"never reached")
+            if new_cps[index].digest != record.payload.get("digest"):
+                raise RecoveryError(
+                    f"salvage diverged from the log: checkpoint "
+                    f"{index} digest mismatch (seq {record.seq}, "
+                    f"type {record.type!r})")
+        if compacted == 0:
+            new_obs = [r for r in self.durability.wal.records
+                       if r.is_observation]
+            if len(new_obs) < len(old_obs):
+                raise RecoveryError(
+                    f"salvage regenerated only {len(new_obs)} "
+                    f"observation records; the log holds "
+                    f"{len(old_obs)} below the salvage floor")
+            for index, (old, new) in enumerate(zip(old_obs, new_obs)):
+                if old.identity() != new.identity():
+                    raise RecoveryError(
+                        f"salvage diverged from the log: observation "
+                        f"#{index} (seq {old.seq}, type {old.type!r}) "
+                        f"differs: logged {old.identity()}, replayed "
+                        f"{new.identity()}")
+        dropped_records = 0 if floor_seq is None else \
+            len([r for r in old_records if r.seq >= floor_seq])
+        info = {
+            "floor_seq": floor_seq,
+            "boundary_events": boundary_events,
+            "replayed_inputs": replayed,
+            "dropped_inputs": len(inputs) - len(kept),
+            "dropped_records": dropped_records,
+            "healed_crashes": healed,
+        }
+        return info, len(old_cps), len(old_obs)
+
+    def _finish_salvage(self, old_records, crash_record, info,
+                        cps_verified, obs_verified, resumed, aborted,
+                        started, compacted: int) -> RecoveryReport:
+        last_time = old_records[-1].time if old_records else 0.0
+        crash_time = crash_record.payload["time"] \
+            if crash_record is not None else last_time
+        if crash_record is not None:
+            crash_events = crash_record.payload["events"]
+        elif info["boundary_events"] is not None:
+            crash_events = info["boundary_events"]
+        else:
+            crash_events = self.sim.events_processed
+        report = RecoveryReport(
+            mode="salvage",
+            crash_time=crash_time,
+            crash_events=crash_events,
+            replayed_events=self.sim.events_processed,
+            replayed_records=obs_verified,
+            wal_records=len(old_records) + compacted,
+            checkpoints_verified=cps_verified,
+            resumed=resumed,
+            aborted=aborted,
+            wall_s=DurabilityManager.wall_clock() - started,
+            salvage=info)
         self.recoveries.append(report)
         return report
 
@@ -607,8 +829,8 @@ class SafeHome:
         """Re-apply one durable input record to the rebuilt stack."""
         if self._crashed and record.type != "recovery":
             raise RecoveryError(
-                f"input record {record.type!r} follows a crash with no "
-                "recovery record")
+                f"input record {record.type!r} (seq {record.seq}) "
+                f"follows a crash with no recovery record")
         payload = record.payload
         # Carry the input history forward so the new WAL remains a
         # complete recipe (a second crash replays through this one).
@@ -693,7 +915,8 @@ class SafeHome:
                     f"records, WAL holds {len(old_obs)}")
         for index, (old, new) in enumerate(zip(old_obs, tail)):
             if old.identity() != new.identity():
-                return (f"observation #{index} differs: logged "
+                return (f"observation #{index} (seq {old.seq}, type "
+                        f"{old.type!r}) differs: logged "
                         f"{old.identity()}, replayed {new.identity()}")
         new_checkpoints = self.durability.checkpoints
         if len(new_checkpoints) != len(old_checkpoints):
@@ -702,7 +925,8 @@ class SafeHome:
         for index, (old, new) in enumerate(zip(old_checkpoints,
                                                new_checkpoints)):
             if old.digest != new.digest:
-                return f"checkpoint #{index} digest mismatch"
+                return (f"checkpoint #{index} (seq {old.seq}, type "
+                        f"'checkpoint') digest mismatch")
         return None
 
     # -- live migration (docs/control-plane.md) -----------------------------------------
@@ -740,19 +964,31 @@ class SafeHome:
         old_manager = self.durability
         old_records = list(old_manager.wal.records)
         old_visibility = self._ctor["visibility"]
+        if old_manager.storage is not None:
+            # The source model's disk log becomes read-only input; the
+            # target incarnation writes to staging until replay passes.
+            old_manager.wal.sink = None
+            old_manager.storage.close(write_final_seal=False)
         self._ctor["visibility"] = target.value
         try:
             self._build_stack()
-            self._attach_durability(old_manager.config)
+            self._attach_durability(old_manager.config, staged=True)
             replayed, healed = self._replay_records(old_records,
                                                     heal_crashes=True)
             if self._crashed:
                 raise MigrationError(
                     "replay under the target model ended crashed")
+            if self.durability.storage is not None:
+                self.durability.storage.commit_staging()
         except BaseException as exc:
             # A failed migration must not leave a half-replayed stack
-            # accepting work: mark the hub crashed and point durability
-            # back at the intact pre-migration WAL for post-mortem.
+            # accepting work: mark the hub crashed, drop the staged
+            # disk log and point durability back at the intact
+            # pre-migration WAL for post-mortem.
+            if self.durability is not old_manager and \
+                    self.durability is not None and \
+                    self.durability.storage is not None:
+                self.durability.storage.abort_staging()
             self._ctor["visibility"] = old_visibility
             self._crashed = True
             self._pending_crash = None

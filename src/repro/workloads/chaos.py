@@ -132,7 +132,8 @@ def _chaos_workload_for(scenario: Optional[str], seed: int) -> Workload:
 
 def _build_home(model: str, execution: str, seed: int,
                 checkpoint_every: int,
-                scenario: Optional[str] = None):
+                scenario: Optional[str] = None,
+                wal_dir: Optional[str] = None):
     # Imported lazily: the hub package sits above workloads in the
     # dependency graph (SafeHome itself imports workloads.base).
     from repro.hub.durability import DurabilityConfig
@@ -140,7 +141,8 @@ def _build_home(model: str, execution: str, seed: int,
 
     home = SafeHome(
         visibility=model, execution=execution, seed=seed,
-        durability=DurabilityConfig(checkpoint_every=checkpoint_every))
+        durability=DurabilityConfig(checkpoint_every=checkpoint_every),
+        wal_dir=wal_dir)
     home.load_workload(_chaos_workload_for(scenario, seed))
     return home
 
@@ -161,14 +163,17 @@ def run_chaos(model: str = "ev", execution: str = "serial",
               checkpoint_every: int = 32,
               crash_at: Optional[float] = None,
               crash_event: Optional[int] = None,
-              scenario: Optional[str] = None) -> ChaosResult:
+              scenario: Optional[str] = None,
+              wal_dir: Optional[str] = None) -> ChaosResult:
     """Crash the hub at seeded points, recover, compare to baseline.
 
     ``crash_at`` / ``crash_event`` pin a single explicit crash point;
     otherwise ``crashes`` points are drawn (seeded) from the
     uninterrupted run's event range.  ``scenario`` swaps the evening
     scene for a generated ``synth:...`` workload (hunt-corpus
-    feedback); the default path is untouched.
+    feedback); the default path is untouched.  ``wal_dir`` puts the
+    crashing home's WAL on disk (segmented CRC-framed log; sealed on
+    completion) so the run leaves an fsck-able artifact behind.
     """
     baseline = _build_home(model, execution, seed, checkpoint_every,
                            scenario=scenario)
@@ -177,7 +182,7 @@ def run_chaos(model: str = "ev", execution: str = "serial",
     total_events = baseline.sim.events_processed
 
     home = _build_home(model, execution, seed, checkpoint_every,
-                       scenario=scenario)
+                       scenario=scenario, wal_dir=wal_dir)
     if crash_at is not None or crash_event is not None:
         points = [{"at": crash_at, "after_events": crash_event}]
     else:
@@ -195,6 +200,8 @@ def run_chaos(model: str = "ev", execution: str = "serial",
             break  # crash point beyond the end of the simulation
         reports.append(home.recover(mode=recovery))
     home.run()
+    if wal_dir is not None:
+        home.close_wal()
     recovered_row = _report_row(home, model)
 
     congruent = json.dumps(recovered_row, sort_keys=True, default=repr) \
